@@ -1,0 +1,152 @@
+// Command nowbench regenerates every table and figure of "A Case for
+// NOW (Networks of Workstations)" and prints them as paper-vs-measured
+// tables.
+//
+// Usage:
+//
+//	nowbench              # run everything (several minutes: F3 dominates)
+//	nowbench -quick       # reduced scales, under a minute
+//	nowbench -only T2,F4  # a comma-separated subset of experiment ids
+//
+// Experiment ids follow DESIGN.md §3: T1 T2 T3 T4 F1 F2 F3 F4 and the
+// prose claims E5 E6 E7 E8 E9 E10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/nowproject/now/internal/coopcache"
+	"github.com/nowproject/now/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nowbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nowbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced experiment scales (finishes in well under a minute)")
+	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+	ablations := fs.Bool("ablations", false, "also run the design-choice ablations (A1-A4)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type exp struct {
+		id  string
+		run func() (experiments.Report, error)
+	}
+	exps := []exp{
+		{"T1", func() (experiments.Report, error) { r, _ := experiments.Table1(); return r, nil }},
+		{"F1", func() (experiments.Report, error) { r, _ := experiments.Figure1(); return r, nil }},
+		{"T2", func() (experiments.Report, error) { r, _, err := experiments.Table2(); return r, err }},
+		{"F2", func() (experiments.Report, error) {
+			sizes := []int64{2, 4, 6, 8, 12, 16}
+			if *quick {
+				sizes = []int64{4, 8}
+			}
+			r, _, err := experiments.Figure2(sizes)
+			return r, err
+		}},
+		{"T3", func() (experiments.Report, error) {
+			cfg := experiments.DefaultTable3Config()
+			if *quick {
+				cfg.Accesses = 40_000
+				cfg.Policies = []coopcache.Policy{coopcache.ClientServer, coopcache.NChance}
+			}
+			r, _, err := experiments.Table3(cfg)
+			return r, err
+		}},
+		{"T4", func() (experiments.Report, error) { r, _ := experiments.Table4(); return r, nil }},
+		{"F3", func() (experiments.Report, error) {
+			cfg := experiments.DefaultFigure3Config()
+			if *quick {
+				cfg.Days = 1
+				cfg.Sizes = []int{48, 96}
+			}
+			r, _, err := experiments.Figure3(cfg)
+			return r, err
+		}},
+		{"F4", func() (experiments.Report, error) {
+			jobs := 3
+			if *quick {
+				jobs = 2
+			}
+			r, _, err := experiments.Figure4(jobs, 1)
+			return r, err
+		}},
+		{"E5", func() (experiments.Report, error) { r, _, err := experiments.NFSStudy(); return r, err }},
+		{"E6", func() (experiments.Report, error) { r, _, err := experiments.AMMicro(); return r, err }},
+		{"E7", func() (experiments.Report, error) { r, _, err := experiments.MemoryRestore(); return r, err }},
+		{"E8", func() (experiments.Report, error) { r, _, err := experiments.SFIOverhead(); return r, err }},
+		{"E9", func() (experiments.Report, error) {
+			days := 10
+			if *quick {
+				days = 3
+			}
+			r, _, err := experiments.Availability(53, days, 1)
+			return r, err
+		}},
+		{"E10", func() (experiments.Report, error) { r, _, err := experiments.SWRAID(); return r, err }},
+	}
+	ablationSelected := *ablations
+	for _, id := range []string{"A1", "A2", "A3", "A4"} {
+		if want[id] {
+			ablationSelected = true
+		}
+	}
+	if ablationSelected {
+		exps = append(exps,
+			exp{"A1", func() (experiments.Report, error) {
+				// 48 workstations: tight enough that users actually come
+				// back to recruited machines, separating the policies.
+				r, _, err := experiments.RecruitmentPolicyAblation(48, 1, 1)
+				return r, err
+			}},
+			exp{"A2", func() (experiments.Report, error) {
+				acc := 120_000
+				if *quick {
+					acc = 60_000
+				}
+				r, _, err := experiments.NChanceAblation(acc)
+				return r, err
+			}},
+			exp{"A3", func() (experiments.Report, error) { r, _, err := experiments.ColumnBufferAblation(1); return r, err }},
+			exp{"A4", func() (experiments.Report, error) {
+				r, _, err := experiments.OverheadVsBandwidthAblation()
+				return r, err
+			}},
+		)
+	}
+
+	fmt.Println("Regenerating the evaluation of 'A Case for NOW' (IEEE Micro, Feb 1995)")
+	fmt.Println(strings.Repeat("=", 72))
+	for _, x := range exps {
+		if !selected(x.id) {
+			continue
+		}
+		start := time.Now()
+		rep, err := x.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", x.id, err)
+		}
+		fmt.Println()
+		fmt.Print(rep.String())
+		fmt.Printf("(%s regenerated in %v)\n", x.id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunSubsetQuick(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "T1,T4,E5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAblationSelection(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "A4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunUnknownIDIsNoop(t *testing.T) {
+	// Selecting a nonexistent id runs nothing and errors nowhere.
+	if err := run([]string{"-only", "ZZ"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Command nowsim builds a NOW from flags and runs a mixed workload on
+// it: interactive users (from the diurnal activity model) plus a
+// parallel job log (from the LANL-style generator), under the GLUnix
+// global layer. It reports job responses, migrations, evictions and
+// user delays — a scriptable version of the paper's Figure 3 scenario.
+//
+// Usage:
+//
+//	nowsim -ws 64 -hours 12 -policy migrate
+//	nowsim -ws 32 -hours 6 -policy restart -seed 7
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/nowproject/now/internal/glunix"
+	"github.com/nowproject/now/internal/sim"
+	"github.com/nowproject/now/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nowsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nowsim", flag.ContinueOnError)
+	ws := fs.Int("ws", 64, "workstations in the NOW")
+	hours := fs.Int("hours", 12, "virtual hours to simulate")
+	seed := fs.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+	policyName := fs.String("policy", "migrate", "user-return policy: migrate, restart, ignore")
+	interarrival := fs.Duration("interarrival", 0, "mean parallel job interarrival (0 = trace default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var policy glunix.RecruitPolicy
+	switch *policyName {
+	case "migrate":
+		policy = glunix.MigrateOnReturn
+	case "restart":
+		policy = glunix.RestartOnReturn
+	case "ignore":
+		policy = glunix.IgnoreUser
+	default:
+		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+
+	length := sim.Duration(*hours) * sim.Hour
+	days := (*hours + 23) / 24
+	acfg := trace.DefaultActivityConfig(*ws, days)
+	acfg.Seed = *seed
+	activity := trace.GenerateActivity(acfg)
+
+	jcfg := trace.DefaultJobTraceConfig(length)
+	jcfg.Seed = *seed
+	if *interarrival > 0 {
+		jcfg.MeanInterarrival = sim.Duration(interarrival.Nanoseconds())
+	}
+	jobs := trace.GenerateJobs(jcfg)
+	for i := range jobs {
+		if jobs[i].CommGrain < 5*sim.Second {
+			jobs[i].CommGrain = 5 * sim.Second
+		}
+	}
+
+	cfg := glunix.DefaultConfig(*ws)
+	cfg.Policy = policy
+	cfg.HeartbeatInterval = 5 * sim.Minute
+	cfg.Seed = *seed
+
+	fmt.Printf("NOW: %d workstations, %d virtual hours, policy %v, %d parallel jobs\n",
+		*ws, *hours, policy, len(jobs))
+	e := sim.NewEngine(*seed)
+	res, err := glunix.RunMixed(e, cfg, activity, jobs, length+12*sim.Hour)
+	e.Close()
+	if err != nil && !errors.Is(err, sim.ErrStopped) {
+		return err
+	}
+
+	fmt.Printf("\njobs completed: %d/%d   mean response: %v\n",
+		res.JobsCompleted, res.JobsTotal, res.MeanResponse)
+	m := res.Master
+	fmt.Printf("migrations: %d   evictions: %d   restarts: %d   image saves/restores: %d/%d\n",
+		m.Migrations, m.Evictions, m.Restarts, m.ImageSaves, m.ImageRestores)
+	if m.UserDelays.N() > 0 {
+		fmt.Printf("user delay on return: median %.2fs, p95 %.2fs, max %.2fs (n=%d)\n",
+			m.UserDelays.Median(), m.UserDelays.Percentile(95), m.UserDelays.Percentile(100),
+			m.UserDelays.N())
+	}
+
+	// Per-job response distribution.
+	ids := make([]int, 0, len(res.Responses))
+	for id := range res.Responses {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Println("\nper-job responses:")
+	for _, id := range ids {
+		fmt.Printf("  job %-4d %v\n", id, res.Responses[id])
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestTinyScenario(t *testing.T) {
+	if err := run([]string{"-ws", "8", "-hours", "1", "-policy", "migrate"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestartPolicy(t *testing.T) {
+	if err := run([]string{"-ws", "6", "-hours", "1", "-policy", "restart", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadPolicy(t *testing.T) {
+	if err := run([]string{"-policy", "nonsense"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Command nowtrace generates and summarises the synthetic traces that
+// stand in for the paper's measurement data, and optionally writes them
+// as CSV for external analysis.
+//
+// Usage:
+//
+//	nowtrace -kind activity -ws 53 -days 2
+//	nowtrace -kind jobs -hours 48 -csv jobs.csv
+//	nowtrace -kind files -accesses 50000
+//	nowtrace -kind nfs
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/nowproject/now/internal/sim"
+	"github.com/nowproject/now/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nowtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nowtrace", flag.ContinueOnError)
+	kind := fs.String("kind", "activity", "trace kind: activity, jobs, files, nfs")
+	ws := fs.Int("ws", 53, "workstations (activity)")
+	days := fs.Int("days", 2, "days (activity)")
+	hours := fs.Int("hours", 48, "hours (jobs)")
+	accesses := fs.Int("accesses", 50_000, "block accesses (files)")
+	seed := fs.Int64("seed", 1, "random seed")
+	csvPath := fs.String("csv", "", "write the raw trace to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var out *csv.Writer
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = csv.NewWriter(f)
+		defer out.Flush()
+	}
+
+	switch *kind {
+	case "activity":
+		cfg := trace.DefaultActivityConfig(*ws, *days)
+		cfg.Seed = *seed
+		tr := trace.GenerateActivity(cfg)
+		fmt.Printf("activity trace: %d workstations, %d days, %d events\n",
+			tr.Workstations, *days, len(tr.Events))
+		for day := 0; day < *days; day++ {
+			from, to := trace.Daytime(day)
+			fmt.Printf("  day %d: %.0f%% of machines fully idle 9am-5pm\n",
+				day, tr.FractionFullyIdle(from, to)*100)
+		}
+		if out != nil {
+			_ = out.Write([]string{"t_ns", "workstation", "active"})
+			for _, ev := range tr.Events {
+				_ = out.Write([]string{
+					strconv.FormatInt(int64(ev.T), 10),
+					strconv.Itoa(ev.WS),
+					strconv.FormatBool(ev.Active),
+				})
+			}
+		}
+	case "jobs":
+		cfg := trace.DefaultJobTraceConfig(sim.Duration(*hours) * sim.Hour)
+		cfg.Seed = *seed
+		jobs := trace.GenerateJobs(cfg)
+		fmt.Printf("parallel job log: %d jobs over %d hours, total work %v\n",
+			len(jobs), *hours, trace.TotalWork(jobs))
+		hist := map[int]int{}
+		for _, j := range jobs {
+			hist[j.Nodes]++
+		}
+		for _, n := range []int{1, 2, 4, 8, 16, 32} {
+			if hist[n] > 0 {
+				fmt.Printf("  %2d-node jobs: %d\n", n, hist[n])
+			}
+		}
+		if out != nil {
+			_ = out.Write([]string{"id", "arrive_ns", "nodes", "work_ns", "grain_ns"})
+			for _, j := range jobs {
+				_ = out.Write([]string{
+					strconv.Itoa(j.ID),
+					strconv.FormatInt(int64(j.Arrive), 10),
+					strconv.Itoa(j.Nodes),
+					strconv.FormatInt(int64(j.Work), 10),
+					strconv.FormatInt(int64(j.CommGrain), 10),
+				})
+			}
+		}
+	case "files":
+		cfg := trace.DefaultFileTraceConfig()
+		cfg.Accesses = *accesses
+		cfg.Seed = *seed
+		accs := trace.GenerateFileTrace(cfg)
+		writes := 0
+		sharedN := 0
+		for _, a := range accs {
+			if a.Write {
+				writes++
+			}
+			if int(a.File) < cfg.SharedFiles {
+				sharedN++
+			}
+		}
+		fmt.Printf("file trace: %d accesses, %d clients; %.0f%% shared, %.0f%% writes\n",
+			len(accs), cfg.Clients,
+			float64(sharedN)/float64(len(accs))*100, float64(writes)/float64(len(accs))*100)
+		if out != nil {
+			_ = out.Write([]string{"t_ns", "client", "file", "block", "write"})
+			for _, a := range accs {
+				_ = out.Write([]string{
+					strconv.FormatInt(int64(a.T), 10),
+					strconv.Itoa(a.Client),
+					strconv.FormatUint(uint64(a.File), 10),
+					strconv.FormatUint(uint64(a.Block), 10),
+					strconv.FormatBool(a.Write),
+				})
+			}
+		}
+	case "nfs":
+		ops := trace.GenerateNFS(trace.DefaultNFSTraceConfig())
+		small, total := 0, 0
+		for _, op := range ops {
+			total += 2
+			if op.RequestBytes < 200 {
+				small++
+			}
+			if op.ReplyBytes < 200 {
+				small++
+			}
+		}
+		fmt.Printf("NFS trace: %d operations; %.1f%% of messages under 200 bytes\n",
+			len(ops), float64(small)/float64(total)*100)
+		if out != nil {
+			_ = out.Write([]string{"request_bytes", "reply_bytes", "metadata"})
+			for _, op := range ops {
+				_ = out.Write([]string{
+					strconv.Itoa(op.RequestBytes),
+					strconv.Itoa(op.ReplyBytes),
+					strconv.FormatBool(op.Metadata),
+				})
+			}
+		}
+	default:
+		return fmt.Errorf("unknown trace kind %q", *kind)
+	}
+	return nil
+}

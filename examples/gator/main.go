@@ -1,0 +1,47 @@
+// Gator: the paper's Table 4 story. First the Demmel–Smith analytic
+// model prices the same atmospheric-chemistry run on a Cray C-90, an
+// Intel Paragon, and four progressively upgraded NOWs; then a scaled-
+// down tracer actually executes on the simulated cluster so the phases
+// can be watched rather than believed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/nowproject/now/internal/gator"
+	"github.com/nowproject/now/internal/netsim"
+	"github.com/nowproject/now/internal/sim"
+)
+
+func main() {
+	fmt.Println("Table 4 — Gator atmospheric model (36 Gflop, 3.9 GB input):")
+	for _, row := range gator.Table4() {
+		fmt.Println("  " + row.String())
+	}
+
+	fmt.Println("\nMini tracer actually running on the simulated NOW (8 nodes):")
+	for _, c := range []struct {
+		name   string
+		fabric func(int) netsim.Config
+		pfs    bool
+	}{
+		{"Ethernet + sequential FS", netsim.Ethernet10, false},
+		{"ATM + sequential FS", netsim.ATM155, false},
+		{"ATM + parallel FS", netsim.ATM155, true},
+	} {
+		e := sim.NewEngine(1)
+		cfg := gator.DefaultMiniConfig(8)
+		cfg.Fabric = c.fabric
+		cfg.ParallelFS = c.pfs
+		res, err := gator.RunMini(e, cfg)
+		e.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-26s input %-10v compute %-10v total %v\n",
+			c.name, res.Input, res.Compute, res.Total)
+	}
+	fmt.Println("\nEach upgrade attacks the bottleneck the model predicts — the")
+	fmt.Println("same order-of-magnitude staircase as the paper's Table 4.")
+}

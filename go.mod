@@ -1,0 +1,3 @@
+module github.com/nowproject/now
+
+go 1.22

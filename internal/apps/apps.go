@@ -1,0 +1,123 @@
+// Package apps implements the parallel application kernels and the
+// scheduling study of the paper's Figure 4: the slowdown of local
+// scheduling relative to coscheduling as the number of competing
+// parallel jobs grows.
+//
+// The model captures the mechanism the paper describes, at the
+// granularity where it lives — the operating system schedules
+// *processes* for full quanta, and a CM-5-style parallel process
+// spin-polls the network rather than blocking:
+//
+//   - each node runs a round-robin scheduler with a ~100 ms quantum over
+//     one process per competing job;
+//   - a process makes progress (computation, message handling, polling)
+//     only while scheduled; a process waiting for a message spins away
+//     its quantum;
+//   - incoming messages land in a bounded per-process buffer and are
+//     consumed only when the destination process is scheduled and polls;
+//     a full buffer rejects the message and the sender must retry.
+//
+// Under coscheduling every node runs the same job simultaneously, so
+// partners poll each other within microseconds. Under local scheduling
+// the partner is usually descheduled, and each interaction costs a
+// quantum — which is why Connect (request/reply bound) collapses, Em3d
+// (synchronisation every round) suffers, Column (bursts into one
+// destination's buffer) is slowed by overflow despite communicating
+// rarely, and the random-small-message kernels survive as long as
+// buffering absorbs their traffic. That is Figure 4.
+package apps
+
+import (
+	"fmt"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+// Pattern selects a communication kernel.
+type Pattern int
+
+const (
+	// RandA sends 4 small one-way messages per round to random peers.
+	RandA Pattern = iota + 1
+	// RandB sends 16 small one-way messages per round to random peers.
+	RandB
+	// Column sends a large burst to one fixed destination every few
+	// rounds and otherwise computes.
+	Column
+	// Em3d exchanges ghost zones with both neighbours and waits for
+	// theirs every round.
+	Em3d
+	// Connect performs blocking request/reply to random peers.
+	Connect
+)
+
+// String names the pattern as the paper does.
+func (pt Pattern) String() string {
+	switch pt {
+	case RandA:
+		return "RandA"
+	case RandB:
+		return "RandB"
+	case Column:
+		return "Column"
+	case Em3d:
+		return "Em3d"
+	case Connect:
+		return "Connect"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(pt))
+	}
+}
+
+// Spec describes one parallel job in the study.
+type Spec struct {
+	Pattern Pattern
+	// Ranks is the gang size (one process per node).
+	Ranks int
+	// Rounds of the main loop.
+	Rounds int
+	// Compute per round per rank.
+	Compute sim.Duration
+	// BurstLen is Column's burst size in messages.
+	BurstLen int
+	// BurstEvery makes Column communicate only every k-th round.
+	BurstEvery int
+}
+
+// DefaultSpec returns the study's default job shape for a pattern.
+func DefaultSpec(pt Pattern, ranks int) Spec {
+	return Spec{
+		Pattern:    pt,
+		Ranks:      ranks,
+		Rounds:     30,
+		Compute:    25 * sim.Millisecond,
+		BurstLen:   192,
+		BurstEvery: 6,
+	}
+}
+
+// msgKind distinguishes traffic classes in the process model.
+type msgKind uint8
+
+const (
+	msgData msgKind = iota + 1
+	msgReq
+	msgReply
+)
+
+// message is one in-flight communication.
+type message struct {
+	kind  msgKind
+	from  int // sender's node
+	seq   uint64
+	round int
+}
+
+// costs of the communication layer within a process's scheduled time;
+// lean user-level Active Messages numbers.
+const (
+	sendOverhead = 5 * sim.Microsecond
+	recvOverhead = 5 * sim.Microsecond
+	wireDelay    = 10 * sim.Microsecond // latency + small-message serialization
+	pollTick     = 500 * sim.Microsecond
+)

@@ -1,0 +1,188 @@
+package apps
+
+import (
+	"testing"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+func TestPatternString(t *testing.T) {
+	for pt, want := range map[Pattern]string{
+		RandA: "RandA", RandB: "RandB", Column: "Column", Em3d: "Em3d", Connect: "Connect",
+	} {
+		if pt.String() != want {
+			t.Fatalf("%d.String() = %q", pt, pt.String())
+		}
+	}
+	if Pattern(42).String() == "" {
+		t.Fatal("unknown pattern should render")
+	}
+}
+
+func runMix(t *testing.T, pt Pattern, jobs int, cosched bool) ContentionResult {
+	t.Helper()
+	e := sim.NewEngine(1)
+	defer e.Close()
+	res, err := RunContention(e, DefaultContentionConfig(pt, jobs, cosched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDedicatedRunCloseToIdeal(t *testing.T) {
+	res := runMix(t, Connect, 1, false)
+	spec := DefaultSpec(Connect, 4)
+	ideal := sim.Duration(spec.Rounds) * spec.Compute
+	got := res.MaxElapsed()
+	if got < ideal {
+		t.Fatalf("elapsed %v below pure-compute bound %v", got, ideal)
+	}
+	if got > 2*ideal {
+		t.Fatalf("dedicated Connect %v ≫ ideal %v", got, ideal)
+	}
+}
+
+func TestAllPatternsCompleteBothDisciplines(t *testing.T) {
+	for _, pt := range []Pattern{RandA, RandB, Column, Em3d, Connect} {
+		for _, cosched := range []bool{false, true} {
+			res := runMix(t, pt, 2, cosched)
+			for j, d := range res.Elapsed {
+				if d <= 0 {
+					t.Fatalf("%v cosched=%v: job %d elapsed %v", pt, cosched, j, d)
+				}
+			}
+		}
+	}
+}
+
+func TestCoschedulingSharesFairly(t *testing.T) {
+	one := runMix(t, Connect, 1, false).MaxElapsed()
+	two := runMix(t, Connect, 2, true).MaxElapsed()
+	ratio := float64(two) / float64(one)
+	if ratio < 1.5 || ratio > 3.5 {
+		t.Fatalf("2-job coscheduled / dedicated = %.2f, want ≈2", ratio)
+	}
+}
+
+func TestConnectCollapsesUnderLocalScheduling(t *testing.T) {
+	connect, err := Slowdown(Connect, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randA, err := Slowdown(RandA, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if connect < 2 {
+		t.Fatalf("Connect slowdown %.2f, expected severe", connect)
+	}
+	if randA > 1.8 {
+		t.Fatalf("RandA slowdown %.2f, expected mild", randA)
+	}
+	if connect < 2*randA {
+		t.Fatalf("ordering violated: Connect %.2f vs RandA %.2f", connect, randA)
+	}
+}
+
+func TestEm3dSuffersFromSynchronisation(t *testing.T) {
+	em3d, err := Slowdown(Em3d, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em3d < 1.3 {
+		t.Fatalf("Em3d slowdown %.2f, expected a synchronisation penalty", em3d)
+	}
+}
+
+func TestColumnOverflowsAndSlows(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := DefaultContentionConfig(Column, 2, false)
+	cfg.BufferSlots = 16
+	local, err := RunContention(e, cfg)
+	e.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Overflows == 0 {
+		t.Fatal("Column under local scheduling should overflow destination buffers")
+	}
+	e2 := sim.NewEngine(1)
+	cfg2 := DefaultContentionConfig(Column, 2, true)
+	cfg2.BufferSlots = 16
+	gang, err := RunContention(e2, cfg2)
+	e2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gang.Overflows >= local.Overflows {
+		t.Fatalf("coscheduling did not reduce overflows: %d vs %d", gang.Overflows, local.Overflows)
+	}
+	if local.MaxElapsed() <= gang.MaxElapsed() {
+		t.Fatalf("Column local %v not slower than coscheduled %v",
+			local.MaxElapsed(), gang.MaxElapsed())
+	}
+}
+
+func TestColumnBufferingRescuesSender(t *testing.T) {
+	// The paper: "as long as enough buffering exists on the destination
+	// processor, the sending processor is not significantly slowed."
+	run := func(slots int) sim.Duration {
+		e := sim.NewEngine(1)
+		defer e.Close()
+		cfg := DefaultContentionConfig(Column, 2, false)
+		cfg.BufferSlots = slots
+		res, err := RunContention(e, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MaxElapsed()
+	}
+	starved := run(8)
+	buffered := run(1024)
+	if buffered >= starved {
+		t.Fatalf("more buffering did not help Column: %v vs %v", buffered, starved)
+	}
+}
+
+func TestSlowdownGrowsWithCompetingJobs(t *testing.T) {
+	two, err := Slowdown(Connect, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := Slowdown(Connect, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three < two*0.9 {
+		t.Fatalf("slowdown shrank with more jobs: 2→%.2f, 3→%.2f", two, three)
+	}
+}
+
+func TestRunContentionValidation(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	if _, err := RunContention(e, ContentionConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := runMix(t, Em3d, 2, false).MaxElapsed()
+	b := runMix(t, Em3d, 2, false).MaxElapsed()
+	if a != b {
+		t.Fatalf("same-seed runs diverged: %v vs %v", a, b)
+	}
+}
+
+func TestRankRNGDeterministicAndDistinct(t *testing.T) {
+	a := newRankRNG(1, 0)
+	b := newRankRNG(1, 0)
+	c := newRankRNG(1, 1)
+	if a.next() != b.next() {
+		t.Fatal("same seed/rank diverged")
+	}
+	if a.next() == c.next() {
+		t.Fatal("different ranks identical (suspicious)")
+	}
+}

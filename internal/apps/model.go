@@ -1,0 +1,362 @@
+package apps
+
+import (
+	"fmt"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+// system is one Figure 4 experiment: Jobs copies of a Spec sharing
+// Ranks nodes under one scheduling discipline.
+type system struct {
+	eng     *sim.Engine
+	spec    Spec
+	jobs    int
+	cosched bool
+	quantum sim.Duration
+	slots   int // inbox capacity per process
+	seed    int64
+
+	procs      [][]*aproc // [job][rank]
+	schedulers []*nodeSched
+	scriptsRun int // procs whose script has finished
+	total      int
+
+	overflows int64
+	retries   int64
+}
+
+// nodeSched is one workstation's process scheduler.
+type nodeSched struct {
+	sys   *system
+	node  int
+	local []*aproc // one per job, RR order
+	next  int
+}
+
+// aproc is one parallel process: it advances (compute, poll, spin) only
+// while the node scheduler grants it CPU, in quanta.
+type aproc struct {
+	sys       *system
+	job, rank int
+
+	inbox   []message
+	dataIn  int // data messages consumed
+	replyIn int // replies arrived (wire-level; observed when polling)
+
+	budget  sim.Duration
+	grant   *sim.Signal
+	yielded *sim.Signal
+	self    *sim.Proc
+
+	scriptDone bool
+	finishedAt sim.Time
+	rng        *rankRNG
+}
+
+// sendStatus tracks one injected message until the destination buffer
+// accepts it.
+type sendStatus struct {
+	accepted bool
+	rejected bool
+}
+
+func newSystem(e *sim.Engine, spec Spec, jobs int, cosched bool, quantum sim.Duration, slots int, seed int64) *system {
+	sys := &system{
+		eng:     e,
+		spec:    spec,
+		jobs:    jobs,
+		cosched: cosched,
+		quantum: quantum,
+		slots:   slots,
+		seed:    seed,
+		total:   jobs * spec.Ranks,
+	}
+	sys.procs = make([][]*aproc, jobs)
+	for j := 0; j < jobs; j++ {
+		sys.procs[j] = make([]*aproc, spec.Ranks)
+		for r := 0; r < spec.Ranks; r++ {
+			p := &aproc{
+				sys:     sys,
+				job:     j,
+				rank:    r,
+				grant:   sim.NewSignal(e, fmt.Sprintf("app%d/r%d/grant", j, r)),
+				yielded: sim.NewSignal(e, fmt.Sprintf("app%d/r%d/yield", j, r)),
+				rng:     newRankRNG(seed+int64(j)*1009, r),
+			}
+			sys.procs[j][r] = p
+		}
+	}
+	sys.schedulers = make([]*nodeSched, spec.Ranks)
+	for n := 0; n < spec.Ranks; n++ {
+		ns := &nodeSched{sys: sys, node: n}
+		for j := 0; j < jobs; j++ {
+			ns.local = append(ns.local, sys.procs[j][n])
+		}
+		sys.schedulers[n] = ns
+	}
+	return sys
+}
+
+// start spawns every process and scheduler.
+func (sys *system) start() {
+	for j := range sys.procs {
+		for r, p := range sys.procs[j] {
+			p := p
+			sys.eng.Spawn(fmt.Sprintf("app%d/rank%d", j, r), p.run)
+		}
+	}
+	for _, ns := range sys.schedulers {
+		ns := ns
+		sys.eng.Spawn(fmt.Sprintf("appsched%d", ns.node), ns.run)
+	}
+}
+
+// finished reports whether every script completed (drain phase over).
+func (sys *system) finished() bool { return sys.scriptsRun == sys.total }
+
+// ---- node scheduler ----
+
+// run grants CPU in quanta until every script in the system is done.
+// Under coscheduling, global slot ownership is derived from the clock
+// (the matrix algorithm assumes aligned rotations). Under local
+// scheduling each node's rotation is independent: a random initial
+// phase and a little per-quantum jitter reproduce the drift of
+// uncoordinated Unix schedulers — without it, identical quanta started
+// at t=0 would accidentally gang-schedule the whole cluster.
+func (ns *nodeSched) run(p *sim.Proc) {
+	rng := ns.sys.eng.Rand()
+	if !ns.sys.cosched {
+		ns.next = rng.Intn(len(ns.local))
+		// Random phase: the first slice is a partial quantum.
+		first := ns.local[ns.next%len(ns.local)]
+		ns.next++
+		first.budget = sim.Duration(1 + rng.Int63n(int64(ns.sys.quantum)))
+		first.grant.Broadcast()
+		first.yielded.Wait(p)
+	}
+	for !ns.sys.finished() {
+		var target *aproc
+		var budget sim.Duration
+		if ns.sys.cosched {
+			now := p.Now()
+			slot := int(now/ns.sys.quantum) % ns.sys.jobs
+			boundary := (now/ns.sys.quantum + 1) * ns.sys.quantum
+			// The slot's owner runs to the boundary; when it has
+			// finished its script the slot still lets it drain (the
+			// known idle waste of strict gang scheduling).
+			target = ns.local[slot]
+			budget = boundary - now
+		} else {
+			target = ns.local[ns.next%len(ns.local)]
+			ns.next++
+			// ±10% quantum jitter: context switch timing noise.
+			jitter := ns.sys.quantum / 10
+			budget = ns.sys.quantum - jitter + sim.Duration(rng.Int63n(int64(2*jitter)))
+		}
+		target.budget = budget
+		target.grant.Broadcast()
+		target.yielded.Wait(p)
+	}
+}
+
+// ---- process execution ----
+
+// run is the process body: execute the kernel script, then keep
+// draining the inbox until the whole system is done (a finished process
+// still absorbs messages, like a process blocked in exit-barrier).
+func (p *aproc) run(sp *sim.Proc) {
+	p.self = sp
+	p.grant.Wait(sp) // wait for the first slice
+	p.script()
+	p.scriptDone = true
+	p.finishedAt = sp.Now()
+	p.sys.scriptsRun++
+	for !p.sys.finished() {
+		p.poll()
+		p.use(pollTick)
+	}
+	p.yielded.Broadcast()
+}
+
+// use consumes d of scheduled CPU time, yielding to the scheduler at
+// quantum boundaries.
+func (p *aproc) use(d sim.Duration) {
+	for d > 0 {
+		if p.sys.finished() {
+			return
+		}
+		if p.budget <= 0 {
+			p.yielded.Broadcast()
+			p.grant.Wait(p.self)
+			continue
+		}
+		step := d
+		if p.budget < step {
+			step = p.budget
+		}
+		p.self.Sleep(step)
+		p.budget -= step
+		d -= step
+	}
+}
+
+// poll drains the inbox, charging receive overhead per message from the
+// process's scheduled time — CM-5-style polling: handlers run only when
+// the process runs.
+func (p *aproc) poll() {
+	for len(p.inbox) > 0 {
+		m := p.inbox[0]
+		p.inbox = p.inbox[1:]
+		p.use(recvOverhead)
+		switch m.kind {
+		case msgData:
+			p.dataIn++
+		case msgReq:
+			// Serve the request: reply to the requester's process.
+			p.use(sendOverhead)
+			requester := p.sys.procs[p.job][m.from]
+			p.sys.eng.After(wireDelay, func() { requester.replyIn++ })
+		}
+	}
+}
+
+// spinUntil polls and burns scheduled time until cond holds. The
+// process stays runnable the whole while — it spins, it does not block.
+func (p *aproc) spinUntil(cond func() bool) {
+	for {
+		p.poll()
+		if cond() {
+			return
+		}
+		p.use(pollTick)
+	}
+}
+
+// sendData injects one data message to the peer process of the same job
+// on node dst, spinning until the destination buffer accepts it.
+func (p *aproc) sendData(dst int) {
+	for {
+		p.use(sendOverhead)
+		st := &sendStatus{}
+		dest := p.sys.procs[p.job][dst]
+		from := p.rank
+		p.sys.eng.After(wireDelay, func() {
+			if len(dest.inbox) >= p.sys.slots {
+				p.sys.overflows++
+				st.rejected = true
+				return
+			}
+			dest.inbox = append(dest.inbox, message{kind: msgData, from: from})
+			st.accepted = true
+		})
+		p.spinUntil(func() bool { return st.accepted || st.rejected })
+		if st.accepted {
+			return
+		}
+		// Destination buffer full: back off one tick and retry.
+		p.sys.retries++
+		p.use(pollTick)
+	}
+}
+
+// request sends a request to the peer on node dst and spins until the
+// reply arrives.
+func (p *aproc) request(dst int) {
+	want := p.replyIn + 1
+	for {
+		p.use(sendOverhead)
+		st := &sendStatus{}
+		dest := p.sys.procs[p.job][dst]
+		from := p.rank
+		p.sys.eng.After(wireDelay, func() {
+			if len(dest.inbox) >= p.sys.slots {
+				p.sys.overflows++
+				st.rejected = true
+				return
+			}
+			dest.inbox = append(dest.inbox, message{kind: msgReq, from: from})
+			st.accepted = true
+		})
+		p.spinUntil(func() bool { return st.accepted || st.rejected })
+		if st.accepted {
+			break
+		}
+		p.sys.retries++
+		p.use(pollTick)
+	}
+	p.spinUntil(func() bool { return p.replyIn >= want })
+}
+
+// compute burns d of work, polling between chunks so incoming traffic
+// is absorbed while the process is scheduled.
+func (p *aproc) compute(d sim.Duration) {
+	const chunk = sim.Millisecond
+	for d > 0 {
+		p.poll()
+		step := d
+		if step > chunk {
+			step = chunk
+		}
+		p.use(step)
+		d -= step
+	}
+}
+
+// script runs the kernel for this process's pattern.
+func (p *aproc) script() {
+	spec := p.sys.spec
+	for round := 0; round < spec.Rounds; round++ {
+		switch spec.Pattern {
+		case RandA, RandB:
+			n := 4
+			if spec.Pattern == RandB {
+				n = 16
+			}
+			for i := 0; i < n; i++ {
+				p.sendData(p.peer())
+			}
+		case Column:
+			if round%spec.BurstEvery == 0 {
+				dst := (p.rank + 1) % spec.Ranks
+				for i := 0; i < spec.BurstLen; i++ {
+					p.sendData(dst)
+				}
+			}
+		case Em3d:
+			p.sendData((p.rank + spec.Ranks - 1) % spec.Ranks)
+			p.sendData((p.rank + 1) % spec.Ranks)
+			want := 2 * (round + 1)
+			p.spinUntil(func() bool { return p.dataIn >= want })
+		case Connect:
+			p.request(p.peer())
+			p.request(p.peer())
+		}
+		p.compute(spec.Compute)
+	}
+}
+
+// peer picks a random other rank.
+func (p *aproc) peer() int {
+	other := int(p.rng.next() % uint64(p.sys.spec.Ranks-1))
+	if other >= p.rank {
+		other++
+	}
+	return other
+}
+
+// rankRNG is a tiny deterministic per-rank generator (splitmix64),
+// avoiding shared-engine RNG draws that would couple job schedules.
+type rankRNG struct{ state uint64 }
+
+func newRankRNG(seed int64, rank int) *rankRNG {
+	return &rankRNG{state: uint64(seed)*0x9e3779b97f4a7c15 + uint64(rank+1)*0xbf58476d1ce4e5b9}
+}
+
+func (r *rankRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

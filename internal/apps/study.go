@@ -1,0 +1,122 @@
+package apps
+
+import (
+	"fmt"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+// ContentionConfig shapes a Figure 4 run: Jobs identical parallel
+// programs share Spec.Ranks workstations, under local scheduling or
+// coscheduling.
+type ContentionConfig struct {
+	// Spec is the job shape; all competing jobs are copies of it (the
+	// study measures each application against copies of itself).
+	Spec Spec
+	// Jobs is the number of competing parallel jobs (1 = dedicated).
+	Jobs int
+	// Cosched selects gang scheduling; false is Unix local scheduling.
+	Cosched bool
+	// Quantum is the scheduling timeslice.
+	Quantum sim.Duration
+	// BufferSlots is each process's receive buffer in messages (the
+	// knob the paper calls out for Column).
+	BufferSlots int
+	// Seed drives the kernels' random destinations.
+	Seed int64
+}
+
+// DefaultContentionConfig returns the study's shape for one pattern.
+func DefaultContentionConfig(pt Pattern, jobs int, cosched bool) ContentionConfig {
+	return ContentionConfig{
+		Spec:        DefaultSpec(pt, 4),
+		Jobs:        jobs,
+		Cosched:     cosched,
+		Quantum:     100 * sim.Millisecond,
+		BufferSlots: 32,
+		Seed:        1,
+	}
+}
+
+// ContentionResult reports a run.
+type ContentionResult struct {
+	// Elapsed is each job's completion time (slowest rank).
+	Elapsed []sim.Duration
+	// Overflows counts messages rejected by full destination buffers.
+	Overflows int64
+	// Retries counts re-injections after rejection.
+	Retries int64
+}
+
+// MaxElapsed returns the completion time of the whole mix.
+func (r ContentionResult) MaxElapsed() sim.Duration {
+	var max sim.Duration
+	for _, d := range r.Elapsed {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// RunContention executes the mix on e and reports per-job times.
+func RunContention(e *sim.Engine, cfg ContentionConfig) (ContentionResult, error) {
+	if cfg.Jobs <= 0 || cfg.Spec.Ranks <= 1 || cfg.Spec.Rounds <= 0 {
+		return ContentionResult{}, fmt.Errorf("apps: bad config %+v", cfg)
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 100 * sim.Millisecond
+	}
+	if cfg.BufferSlots <= 0 {
+		cfg.BufferSlots = 32
+	}
+	sys := newSystem(e, cfg.Spec, cfg.Jobs, cfg.Cosched, cfg.Quantum, cfg.BufferSlots, cfg.Seed)
+	sys.start()
+	if err := e.RunUntil(24 * sim.Hour); err != nil {
+		return ContentionResult{}, fmt.Errorf("apps: contention run: %w", err)
+	}
+	if !sys.finished() {
+		return ContentionResult{}, fmt.Errorf("apps: mix did not finish within the horizon")
+	}
+	res := ContentionResult{
+		Elapsed:   make([]sim.Duration, cfg.Jobs),
+		Overflows: sys.overflows,
+		Retries:   sys.retries,
+	}
+	for j := range sys.procs {
+		for _, p := range sys.procs[j] {
+			if d := sim.Duration(p.finishedAt); d > res.Elapsed[j] {
+				res.Elapsed[j] = d
+			}
+		}
+	}
+	return res, nil
+}
+
+// Slowdown runs the same mix under local scheduling and coscheduling and
+// returns T_local / T_cosched — Figure 4's y-axis.
+func Slowdown(pt Pattern, jobs int, seed int64) (float64, error) {
+	run := func(cosched bool) (sim.Duration, error) {
+		e := sim.NewEngine(seed)
+		defer e.Close()
+		cfg := DefaultContentionConfig(pt, jobs, cosched)
+		cfg.Seed = seed
+		res, err := RunContention(e, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.MaxElapsed(), nil
+	}
+	local, err := run(false)
+	if err != nil {
+		return 0, err
+	}
+	gang, err := run(true)
+	if err != nil {
+		return 0, err
+	}
+	if gang == 0 {
+		return 0, fmt.Errorf("apps: zero coscheduled time")
+	}
+	return float64(local) / float64(gang), nil
+}

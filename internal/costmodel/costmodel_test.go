@@ -1,0 +1,116 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBellRuleFivefoldAt30000(t *testing.T) {
+	// Paper: 30,000:1 volume → about a fivefold cost advantage.
+	advantage := 1 / BellCostRatio(30000)
+	if advantage < 4 || advantage > 6 {
+		t.Fatalf("advantage = %.2f, want ≈5", advantage)
+	}
+}
+
+func TestBellRuleDoubling(t *testing.T) {
+	if r := BellCostRatio(2); math.Abs(r-0.9) > 1e-9 {
+		t.Fatalf("doubling → %.4f, want 0.90", r)
+	}
+	if BellCostRatio(1) != 1 {
+		t.Fatal("equal volume should be 1")
+	}
+	if BellCostRatio(0) != 1 {
+		t.Fatal("degenerate volume should be 1")
+	}
+}
+
+func TestBellRuleMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		va, vb := float64(a)+1, float64(b)+1
+		if va > vb {
+			va, vb = vb, va
+		}
+		return BellCostRatio(vb) <= BellCostRatio(va)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDRAMGapIs15x(t *testing.T) {
+	gap := DRAMPricePerMB["Cray M90"] / DRAMPricePerMB["personal computer"]
+	if gap != 15 {
+		t.Fatalf("DRAM gap = %.1f, paper says 15×", gap)
+	}
+}
+
+func TestTable1LagCosts(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]MPPLag{}
+	for _, r := range rows {
+		byName[r.MPP] = r
+		if r.LagYears <= 0 {
+			t.Errorf("%s has non-positive lag %v", r.MPP, r.LagYears)
+		}
+	}
+	// CM-5 lags the most (two years → more than a factor of two, the
+	// paper's headline arithmetic).
+	if byName["CM-5"].LagYears != 2 {
+		t.Fatalf("CM-5 lag = %v years", byName["CM-5"].LagYears)
+	}
+	if f := byName["CM-5"].PerfFactor; f < 2 {
+		t.Fatalf("two-year lag cost %.2f×, paper: more than a factor of two", f)
+	}
+	if byName["T3D"].LagYears >= byName["CM-5"].LagYears {
+		t.Fatal("T3D (newest) should lag less than CM-5")
+	}
+}
+
+func TestFigure1WorkstationsCheapest(t *testing.T) {
+	prices := Figure1()
+	cfgs := Figure1Configs()
+	best := CheapestWorkstation()
+	if best.Total <= 0 || math.IsInf(best.Total, 1) {
+		t.Fatal("no cheapest workstation")
+	}
+	for i, p := range prices {
+		if cfgs[i].HasScreen {
+			continue
+		}
+		ratio := p.Total / best.Total
+		// Paper: "the price is twice as high for either the large
+		// multiprocessor servers or MPPs compared to the most
+		// cost-effective workstation."
+		if ratio < 1.5 || ratio > 3.0 {
+			t.Errorf("%s = %.1f× the best workstation, want ≈2×", p.Name, ratio)
+		}
+	}
+}
+
+func TestFigure1BoxCounts(t *testing.T) {
+	cfgs := Figure1Configs()
+	for i, p := range Figure1() {
+		if p.Boxes*cfgs[i].CPUsPerBox < 128 {
+			t.Errorf("%s: %d boxes of %d CPUs cannot hold 128", p.Name, p.Boxes, cfgs[i].CPUsPerBox)
+		}
+	}
+}
+
+func TestFigure1FourWayIsMostCostEffective(t *testing.T) {
+	best := CheapestWorkstation()
+	if best.Name != "SparcStation-10 (4-way)" {
+		t.Fatalf("cheapest = %s; repackaging CPUs into desktop boxes should win", best.Name)
+	}
+}
+
+func TestPriceStringRenders(t *testing.T) {
+	s := Figure1()[0].String()
+	if s == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/nowproject/now/internal/glunix"
+)
+
+func TestRecruitmentPolicyAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, rows, err := RecruitmentPolicyAblation(48, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[glunix.RecruitPolicy]PolicyRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+	}
+	mig := byPolicy[glunix.MigrateOnReturn]
+	res := byPolicy[glunix.RestartOnReturn]
+	ign := byPolicy[glunix.IgnoreUser]
+	// Restart burns progress: it must not beat migration on job slowdown
+	// when evictions actually happened.
+	if res.Restarts > 0 && res.Slowdown < mig.Slowdown*0.9 {
+		t.Errorf("restart (%.2f) beat migration (%.2f) despite %d restarts",
+			res.Slowdown, mig.Slowdown, res.Restarts)
+	}
+	// Ignoring the user disturbs them; migration never does.
+	if mig.Disturbed != 0 {
+		t.Errorf("migration disturbed %d users", mig.Disturbed)
+	}
+	if ign.Disturbed == 0 && ign.Restarts == 0 && mig.Restarts == 0 &&
+		byPolicy[glunix.MigrateOnReturn].UserP95Delay == 0 {
+		t.Skip("no evictions occurred in this trace draw; ablation vacuous")
+	}
+}
+
+func TestNChanceAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, rows, err := NChanceAblation(60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byN := map[int]NChanceRow{}
+	for _, r := range rows {
+		byN[r.N] = r
+	}
+	// Recirculation (N=2) must beat plain greedy forwarding (N=0).
+	if byN[2].MissRate >= byN[0].MissRate {
+		t.Errorf("N=2 miss %.3f not below greedy %.3f", byN[2].MissRate, byN[0].MissRate)
+	}
+	// Diminishing returns: N=4 buys little over N=2.
+	if byN[4].MissRate < byN[2].MissRate*0.5 {
+		t.Errorf("N=4 (%.3f) halved N=2 (%.3f): recirculation should saturate",
+			byN[4].MissRate, byN[2].MissRate)
+	}
+}
+
+func TestColumnBufferAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, rows, err := ColumnBufferAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if first.Slots >= last.Slots {
+		t.Fatal("rows not in increasing buffer order")
+	}
+	if last.Slowdown >= first.Slowdown {
+		t.Errorf("deep buffers (%.2f) did not beat starved buffers (%.2f)",
+			last.Slowdown, first.Slowdown)
+	}
+	if last.Slowdown > 1.5 {
+		t.Errorf("with 1024 slots Column still %.2f× slow; buffering should rescue it", last.Slowdown)
+	}
+}
+
+func TestOverheadVsBandwidthAblation(t *testing.T) {
+	_, rows, err := OverheadVsBandwidthAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]float64{}
+	for _, r := range rows {
+		byLabel[r.Label] = r.NFSImprove
+	}
+	bw := byLabel["15× bandwidth only"]
+	oh := byLabel["10× less overhead only"]
+	if oh <= bw {
+		t.Errorf("overhead cut (%.0f%%) should beat bandwidth raise (%.0f%%) on small messages",
+			oh*100, bw*100)
+	}
+	if both := byLabel["both"]; both <= oh {
+		t.Errorf("both upgrades (%.0f%%) should beat overhead alone (%.0f%%)", both*100, oh*100)
+	}
+}

@@ -1,0 +1,43 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation, plus the quantitative claims made in prose ("E" rows). One
+// function per artifact returns typed rows and a rendered paper-vs-
+// measured table; cmd/nowbench prints them all, and the repository's
+// benchmark suite wraps each in a testing.B target.
+//
+// See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for the
+// recorded outcomes.
+package experiments
+
+import (
+	"github.com/nowproject/now/internal/stats"
+)
+
+// Report is one regenerated artifact.
+type Report struct {
+	// ID is the experiment id from DESIGN.md (T1, F2, E5, ...).
+	ID string
+	// Title names the paper artifact.
+	Title string
+	// Table is the rendered rows (paper value next to measured value
+	// where the paper states one).
+	Table *stats.Table
+	// Notes records calibration or substitution remarks.
+	Notes string
+}
+
+// String renders the report.
+func (r Report) String() string {
+	s := "== " + r.ID + ": " + r.Title + " ==\n" + r.Table.String()
+	if r.Notes != "" {
+		s += "note: " + r.Notes + "\n"
+	}
+	return s
+}
+
+// ratio formats a measured/paper comparison safely.
+func ratio(measured, paper float64) float64 {
+	if paper == 0 {
+		return 0
+	}
+	return measured / paper
+}

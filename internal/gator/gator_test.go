@@ -1,0 +1,154 @@
+package gator
+
+import (
+	"testing"
+
+	"github.com/nowproject/now/internal/netsim"
+	"github.com/nowproject/now/internal/sim"
+)
+
+// within reports |got-want|/want <= tol.
+func within(got, want sim.Duration, tol float64) bool {
+	d := float64(got - want)
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*float64(want)
+}
+
+func TestTable4MatchesPaperWithinTolerance(t *testing.T) {
+	// Paper's Table 4, in seconds. The original model was validated to
+	// within 30% of real machines; we hold our reproduction to 25% of
+	// the paper's own numbers per phase (and 15% on totals).
+	want := []struct {
+		ode, transport, input, total float64
+	}{
+		{7, 4, 16, 27},
+		{12, 24, 10, 46},
+		{4, 23340, 4030, 27374},
+		{4, 192, 2015, 2211},
+		{4, 192, 10, 205},
+		{4, 8, 10, 21},
+	}
+	rows := Table4()
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	secs := func(s float64) sim.Duration { return sim.Duration(s * float64(sim.Second)) }
+	for i, row := range rows {
+		w := want[i]
+		if !within(row.ODE, secs(w.ode), 0.25) {
+			t.Errorf("%s ODE = %v, paper %vs", row.Machine, row.ODE, w.ode)
+		}
+		if !within(row.Transport, secs(w.transport), 0.25) {
+			t.Errorf("%s Transport = %v, paper %vs", row.Machine, row.Transport, w.transport)
+		}
+		if !within(row.Input, secs(w.input), 0.25) {
+			t.Errorf("%s Input = %v, paper %vs", row.Machine, row.Input, w.input)
+		}
+		if !within(row.Total, secs(w.total), 0.15) {
+			t.Errorf("%s Total = %v, paper %vs", row.Machine, row.Total, w.total)
+		}
+	}
+}
+
+func TestTable4OrderOfMagnitudeSteps(t *testing.T) {
+	// The paper's narrative: each upgrade buys roughly an order of
+	// magnitude, and the final NOW beats the Paragon and competes with
+	// the C-90 at a fraction of the cost.
+	rows := Table4()
+	base, atm, pfs, lowo := rows[2], rows[3], rows[4], rows[5]
+	if r := float64(base.Total) / float64(atm.Total); r < 5 {
+		t.Errorf("ATM upgrade factor = %.1f, want ≈12×", r)
+	}
+	if r := float64(atm.Total) / float64(pfs.Total); r < 5 {
+		t.Errorf("parallel FS upgrade factor = %.1f, want ≈10×", r)
+	}
+	if r := float64(pfs.Total) / float64(lowo.Total); r < 5 {
+		t.Errorf("low-overhead upgrade factor = %.1f, want ≈10×", r)
+	}
+	c90, paragon := rows[0], rows[1]
+	if lowo.Total > 2*c90.Total {
+		t.Errorf("final NOW %v does not compete with C-90 %v", lowo.Total, c90.Total)
+	}
+	if lowo.Total > paragon.Total {
+		t.Errorf("final NOW %v slower than Paragon %v", lowo.Total, paragon.Total)
+	}
+	if lowo.CostM >= c90.CostM/3 {
+		t.Errorf("NOW cost %.0fM not a fraction of C-90 %.0fM", lowo.CostM, c90.CostM)
+	}
+}
+
+func TestModelScalesWithNodes(t *testing.T) {
+	w := PaperWorkload()
+	m := Machines()[5] // best NOW
+	half := m
+	half.Nodes = 128
+	full := Model(m, w)
+	halved := Model(half, w)
+	if halved.ODE <= full.ODE {
+		t.Fatal("halving nodes should slow the ODE phase")
+	}
+}
+
+func TestMiniRunPhases(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := DefaultMiniConfig(8)
+	res, err := RunMini(e, cfg)
+	e.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Input <= 0 || res.Compute <= 0 || res.Total != res.Input+res.Compute {
+		t.Fatalf("phases: %+v", res)
+	}
+	if res.Exchanges != int64(2*cfg.Nodes*cfg.Timesteps) {
+		t.Fatalf("exchanges = %d", res.Exchanges)
+	}
+}
+
+func TestMiniParallelFSBeatsSequential(t *testing.T) {
+	run := func(pfs bool) MiniResult {
+		e := sim.NewEngine(1)
+		defer e.Close()
+		cfg := DefaultMiniConfig(8)
+		cfg.ParallelFS = pfs
+		res, err := RunMini(e, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(false)
+	par := run(true)
+	if ratio := float64(seq.Input) / float64(par.Input); ratio < 4 {
+		t.Fatalf("parallel FS input speedup = %.1f on 8 disks, want ≳6", ratio)
+	}
+}
+
+func TestMiniFasterNetworkHelpsCompute(t *testing.T) {
+	run := func(fabric func(int) netsim.Config) MiniResult {
+		e := sim.NewEngine(1)
+		defer e.Close()
+		cfg := DefaultMiniConfig(8)
+		cfg.Fabric = fabric
+		res, err := RunMini(e, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	eth := run(netsim.Ethernet10)
+	atm := run(netsim.ATM155)
+	if eth.Compute <= atm.Compute {
+		t.Fatalf("Ethernet compute %v not slower than ATM %v", eth.Compute, atm.Compute)
+	}
+}
+
+func TestMiniValidation(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	if _, err := RunMini(e, MiniConfig{Nodes: 1}); err == nil {
+		t.Fatal("1-node config accepted")
+	}
+}

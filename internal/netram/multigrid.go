@@ -1,0 +1,71 @@
+package netram
+
+import (
+	"github.com/nowproject/now/internal/node"
+	"github.com/nowproject/now/internal/sim"
+)
+
+// MultigridConfig describes the Figure 2 workload: V-cycles of a
+// multigrid solver whose fine grid may exceed local DRAM. Each level
+// halves the grid in each dimension, so level l holds ProblemBytes>>(2l)
+// (a 2-D problem); the solver sweeps down and back up the hierarchy.
+type MultigridConfig struct {
+	// ProblemBytes is the fine-grid footprint.
+	ProblemBytes int64
+	// Levels in the V-cycle.
+	Levels int
+	// Cycles to run (sweeps of the whole hierarchy).
+	Cycles int
+	// ComputePerPage is the CPU time per page touched — the relaxation
+	// arithmetic on the points in that page.
+	ComputePerPage sim.Duration
+}
+
+// DefaultMultigridConfig sizes the computation so that the relaxation
+// on one 4 KB page of grid points costs ≈2 ms on a 50 MFLOPS
+// workstation (≈512 points × ≈200 flop per sweep).
+func DefaultMultigridConfig(problemBytes int64) MultigridConfig {
+	return MultigridConfig{
+		ProblemBytes:   problemBytes,
+		Levels:         4,
+		Cycles:         3,
+		ComputePerPage: 2 * sim.Millisecond,
+	}
+}
+
+// MultigridResult reports a run.
+type MultigridResult struct {
+	Elapsed sim.Duration
+	Pager   Stats
+}
+
+// RunMultigrid executes the workload as process p on the node paged by
+// pg, and returns the elapsed virtual time.
+func RunMultigrid(p *sim.Proc, pg *Pager, cfg MultigridConfig) MultigridResult {
+	start := p.Now()
+	pageSize := int64(pg.mem.PageSize())
+	levelPages := make([]uint32, cfg.Levels)
+	for l := 0; l < cfg.Levels; l++ {
+		pages := cfg.ProblemBytes >> (2 * l) / pageSize
+		if pages < 1 {
+			pages = 1
+		}
+		levelPages[l] = uint32(pages)
+	}
+	sweep := func(level int) {
+		n := levelPages[level]
+		for i := uint32(0); i < n; i++ {
+			pg.Touch(p, node.PageID{Space: uint32(level + 1), Index: i}, true)
+		}
+		p.Sleep(cfg.ComputePerPage * sim.Duration(n))
+	}
+	for c := 0; c < cfg.Cycles; c++ {
+		for l := 0; l < cfg.Levels; l++ { // restrict down
+			sweep(l)
+		}
+		for l := cfg.Levels - 2; l >= 0; l-- { // prolongate up
+			sweep(l)
+		}
+	}
+	return MultigridResult{Elapsed: p.Now() - start, Pager: pg.Stats()}
+}

@@ -1,0 +1,217 @@
+// Package netsim models the local-area fabrics the NOW paper contrasts:
+// the shared 10 Mb/s Ethernet of 1994 departmental LANs, and the
+// emerging switched fabrics (ATM, FDDI, Myrinet-class MPP networks) whose
+// bandwidth scales with the number of nodes.
+//
+// The model separates, as the paper insists one must, the three
+// components of communication cost:
+//
+//   - processor overhead (o): charged by the protocol layers in
+//     internal/proto, NOT here — overhead is CPU time and belongs to the
+//     sending/receiving host;
+//   - serialization/bandwidth (bytes/G): charged here, on the contended
+//     medium (shared fabric) or per-node links (switched fabric);
+//   - network latency (L): charged here, between end of transmission and
+//     delivery.
+//
+// A switched fabric is cut-through (the paper: "fast, single-chip
+// switches employing cut-through routing"): an uncontended packet is
+// fully received at tx_end + latency. Receiver-link contention is
+// modelled analytically with a per-destination busy-until horizon, so
+// incast (the Column benchmark's failure mode) queues where it should.
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+// NodeID identifies a workstation on the fabric (dense, 0-based).
+type NodeID int
+
+// Packet is one network transmission. Bytes is the on-the-wire size
+// including whatever headers the protocol layer added; Payload is the
+// simulated content, opaque to the fabric. Port demultiplexes endpoints
+// sharing one node (e.g. the per-job communication contexts of the
+// coscheduling study); SrcPort lets the receiver address its reply.
+type Packet struct {
+	Src, Dst NodeID
+	Port     int
+	SrcPort  int
+	Bytes    int
+	Payload  any
+	Sent     sim.Time // stamped by Send
+}
+
+// Delivery receives packets at their arrival time. It runs in engine
+// event context and must not block; protocol layers enqueue into a
+// mailbox and return.
+type Delivery func(pkt *Packet)
+
+// Config describes a fabric.
+type Config struct {
+	// Name appears in diagnostics ("ethernet", "atm", "myrinet").
+	Name string
+	// Nodes is the number of attached workstations.
+	Nodes int
+	// BandwidthMbps is the link (switched) or medium (shared) bit rate
+	// in megabits per second.
+	BandwidthMbps float64
+	// Latency is the network latency L: propagation plus switch routing
+	// time for one traversal.
+	Latency sim.Duration
+	// Shared selects a single contended medium (Ethernet, FDDI ring)
+	// instead of a per-node-link switched fabric.
+	Shared bool
+	// PerPacketWire is a fixed per-packet wire cost (preamble, cell
+	// framing) added to the serialization time.
+	PerPacketWire sim.Duration
+	// LossProb is the probability a packet is silently dropped after
+	// transmission, exercising the protocol layers' timeout/retry paths.
+	LossProb float64
+}
+
+// Stats aggregates fabric activity over a run.
+type Stats struct {
+	Packets   int64
+	Bytes     int64
+	Drops     int64
+	SelfSends int64
+}
+
+// Fabric is a simulated LAN. Create one with New, register per-node
+// Delivery handlers, then Send from simulated processes.
+type Fabric struct {
+	eng      *sim.Engine
+	cfg      Config
+	medium   *sim.Resource   // shared mode: the one Ethernet segment
+	txLinks  []*sim.Resource // switched mode: per-node transmit links
+	rxFree   []sim.Time      // switched mode: per-node receive-link horizon
+	handlers map[portKey]Delivery
+	stats    Stats
+}
+
+// portKey addresses one endpoint: a node and a port on it.
+type portKey struct {
+	node NodeID
+	port int
+}
+
+// New builds a fabric on e. Nodes must be positive; bandwidth must be
+// positive.
+func New(e *sim.Engine, cfg Config) (*Fabric, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("netsim: %d nodes", cfg.Nodes)
+	}
+	if cfg.BandwidthMbps <= 0 {
+		return nil, fmt.Errorf("netsim: bandwidth %v Mb/s", cfg.BandwidthMbps)
+	}
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		return nil, fmt.Errorf("netsim: loss probability %v", cfg.LossProb)
+	}
+	f := &Fabric{
+		eng:      e,
+		cfg:      cfg,
+		handlers: make(map[portKey]Delivery),
+	}
+	if cfg.Shared {
+		f.medium = sim.NewResource(e, cfg.Name+"/medium", 1)
+	} else {
+		f.txLinks = make([]*sim.Resource, cfg.Nodes)
+		for i := range f.txLinks {
+			f.txLinks[i] = sim.NewResource(e, fmt.Sprintf("%s/tx%d", cfg.Name, i), 1)
+		}
+		f.rxFree = make([]sim.Time, cfg.Nodes)
+	}
+	return f, nil
+}
+
+// Nodes returns the number of attached workstations.
+func (f *Fabric) Nodes() int { return f.cfg.Nodes }
+
+// Config returns the fabric's configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// SetDelivery registers the handler for (node, port 0). Registering nil
+// detaches it (packets to it are dropped).
+func (f *Fabric) SetDelivery(node NodeID, fn Delivery) {
+	f.SetDeliveryPort(node, 0, fn)
+}
+
+// SetDeliveryPort registers the handler for one (node, port) endpoint.
+func (f *Fabric) SetDeliveryPort(node NodeID, port int, fn Delivery) {
+	k := portKey{node: node, port: port}
+	if fn == nil {
+		delete(f.handlers, k)
+		return
+	}
+	f.handlers[k] = fn
+}
+
+// SerializationTime returns the wire occupancy for a packet of n bytes.
+func (f *Fabric) SerializationTime(n int) sim.Duration {
+	return sim.PerByte(int64(n), sim.Bandwidth(f.cfg.BandwidthMbps)) + f.cfg.PerPacketWire
+}
+
+// Send transmits pkt, blocking p for the source-side wire occupancy
+// (media acquisition on a shared fabric, link serialization on both).
+// Delivery to the destination handler happens later in virtual time.
+// Sending to self bypasses the wire entirely.
+func (f *Fabric) Send(p *sim.Proc, pkt *Packet) {
+	pkt.Sent = f.eng.Now()
+	if pkt.Src == pkt.Dst {
+		f.stats.SelfSends++
+		f.deliverAt(f.eng.Now(), pkt)
+		return
+	}
+	ser := f.SerializationTime(pkt.Bytes)
+	if f.cfg.Shared {
+		f.medium.Use(p, 1, ser)
+		f.arrive(f.eng.Now()+f.cfg.Latency, pkt)
+		return
+	}
+	f.txLinks[pkt.Src].Use(p, 1, ser)
+	// Cut-through: the head of the packet reached the destination link
+	// latency after it left; the tail arrives one serialization later.
+	// Output-link contention delays us behind earlier arrivals.
+	headAtRx := f.eng.Now() - ser + f.cfg.Latency
+	outStart := headAtRx
+	if f.rxFree[pkt.Dst] > outStart {
+		outStart = f.rxFree[pkt.Dst]
+	}
+	done := outStart + ser
+	f.rxFree[pkt.Dst] = done
+	f.arrive(done, pkt)
+}
+
+// arrive finalises a transmission: accounting, loss injection, delivery.
+func (f *Fabric) arrive(at sim.Time, pkt *Packet) {
+	f.stats.Packets++
+	f.stats.Bytes += int64(pkt.Bytes)
+	if f.cfg.LossProb > 0 && f.eng.Rand().Float64() < f.cfg.LossProb {
+		f.stats.Drops++
+		return
+	}
+	f.deliverAt(at, pkt)
+}
+
+func (f *Fabric) deliverAt(at sim.Time, pkt *Packet) {
+	f.eng.At(at, func() {
+		if h := f.handlers[portKey{node: pkt.Dst, port: pkt.Port}]; h != nil {
+			h(pkt)
+		}
+	})
+}
+
+// Stats returns a snapshot of fabric counters.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// MediumUtilization reports utilisation of the shared medium (0 for
+// switched fabrics, where per-link utilisation is the relevant figure).
+func (f *Fabric) MediumUtilization() float64 {
+	if f.medium == nil {
+		return 0
+	}
+	return f.medium.Utilization()
+}

@@ -1,0 +1,603 @@
+// Package am implements Active Messages, the lean communication layer
+// at the heart of the NOW prototype (von Eicken et al., and Martin's
+// HPAM port to HP workstations over Medusa FDDI).
+//
+// The design follows the paper's definitions exactly: *overhead* is CPU
+// time spent by the processor preparing to send or receive (charged to
+// the node's CPU, where it contends with everything else running there),
+// while *latency* and serialization live in the fabric. An active
+// message names a handler on the destination; the handler runs when the
+// receiving endpoint's dispatcher drains it and may return a reply,
+// which doubles as the acknowledgement.
+//
+// Reliability is the paper's "message loss as an infrequent case":
+// per-destination sequence numbers, sender-side timeout and retry, and
+// receiver-side duplicate suppression with cached replies, so a retried
+// non-idempotent request is answered from the cache instead of
+// re-executed. Receive buffering is finite; arrivals beyond the buffer
+// are dropped and recovered by retry — the exact failure mode that makes
+// the Column benchmark collapse without coscheduling (Figure 4).
+package am
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/nowproject/now/internal/netsim"
+	"github.com/nowproject/now/internal/node"
+	"github.com/nowproject/now/internal/sim"
+)
+
+// HandlerID names a registered handler on an endpoint.
+type HandlerID int
+
+// Msg is what a handler receives.
+type Msg struct {
+	// Src is the requesting node.
+	Src netsim.NodeID
+	// Arg is the request argument (simulated payload, by reference).
+	Arg any
+	// Bytes is the payload size carried on the wire.
+	Bytes int
+}
+
+// Handler processes a request and returns the reply value and its
+// payload size in bytes (0 for a bare acknowledgement). Handlers run in
+// the endpoint's dispatcher process and may perform further blocking
+// simulation operations (disk I/O, nested calls on *other* endpoints).
+type Handler func(p *sim.Proc, m Msg) (reply any, replyBytes int)
+
+// ErrTimeout is returned when a message exhausted its retries without an
+// acknowledgement (destination crashed or detached).
+var ErrTimeout = errors.New("am: request timed out")
+
+// Config sets the endpoint's cost and reliability parameters.
+type Config struct {
+	// SendOverhead is the CPU time charged at the sender per message.
+	SendOverhead sim.Duration
+	// RecvOverhead is the CPU time charged at the receiver per message.
+	RecvOverhead sim.Duration
+	// SendPerByte and RecvPerByte charge copy costs proportional to the
+	// payload — zero for true user-level Active Messages (data moves by
+	// DMA from user buffers), nonzero for the kernel-stack baselines
+	// (package kstack) built on this same endpoint machinery, where
+	// every byte crosses the kernel once or twice.
+	SendPerByte sim.Duration
+	RecvPerByte sim.Duration
+	// HeaderBytes is added to every packet on the wire.
+	HeaderBytes int
+	// BufferSlots bounds the receive queue; excess arrivals are dropped.
+	BufferSlots int
+	// RetryTimeout is how long a sender waits before retransmitting.
+	RetryTimeout sim.Duration
+	// MaxRetries bounds retransmissions before ErrTimeout.
+	MaxRetries int
+	// CompletionTimeout bounds how long an acknowledged request may wait
+	// for its reply. Retransmission stops once the destination's
+	// transport ack arrives (the handler may legitimately take a long
+	// time — a disk read, a rebuild); if the reply still has not arrived
+	// after this deadline the destination is presumed to have crashed
+	// mid-request. Zero means 10 s of virtual time.
+	CompletionTimeout sim.Duration
+	// Window bounds outstanding asynchronous sends per destination.
+	Window int
+	// Class is the CPU scheduling class charged for protocol processing
+	// ("" = system class, always schedulable).
+	Class string
+	// Port is the endpoint's address on its node; distinct subsystems or
+	// jobs sharing a node use distinct ports. Port 0 is the default.
+	Port int
+}
+
+// DefaultConfig is the NOW target: user-level network access with a
+// handful of microseconds of overhead per side, aiming at the paper's
+// 10 µs user-to-user goal on a Myrinet-class fabric.
+func DefaultConfig() Config {
+	return Config{
+		SendOverhead: 3 * sim.Microsecond,
+		RecvOverhead: 3 * sim.Microsecond,
+		HeaderBytes:  32,
+		BufferSlots:  64,
+		RetryTimeout: 1 * sim.Millisecond,
+		MaxRetries:   10,
+		Window:       16,
+	}
+}
+
+// HPAMConfig reproduces Martin's HPAM prototype on Medusa FDDI: 8 µs of
+// processor overhead per side including timeout and retry support.
+func HPAMConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SendOverhead = 8 * sim.Microsecond
+	cfg.RecvOverhead = 8 * sim.Microsecond
+	return cfg
+}
+
+// CM5Config reproduces the CM-5 figures the paper cites: roughly 50
+// cycles ≈ 1.7 µs of overhead for sending and handling a small message.
+func CM5Config() Config {
+	cfg := DefaultConfig()
+	cfg.SendOverhead = 1700 * sim.Nanosecond
+	cfg.RecvOverhead = 1700 * sim.Nanosecond
+	return cfg
+}
+
+type pktKind uint8
+
+const (
+	kindRequest pktKind = iota + 1
+	kindReply
+	// kindAck is the transport-level receipt: it stops the sender's
+	// retransmission timer without completing the call.
+	kindAck
+)
+
+// wire is the fabric payload for an AM packet.
+type wire struct {
+	kind    pktKind
+	seq     uint64
+	handler HandlerID
+	arg     any
+	bytes   int
+	// ackedBelow lets the receiver prune its duplicate-suppression
+	// cache: the sender has seen acknowledgements for all seq < this.
+	ackedBelow uint64
+}
+
+type pending struct {
+	pkt      *netsim.Packet
+	seq      uint64
+	dst      netsim.NodeID
+	retries  int
+	timer    sim.Timer
+	done     *sim.Signal // nil for asynchronous sends
+	reply    any
+	failed   bool
+	finished bool
+	acked    bool
+	async    bool
+}
+
+// Stats counts endpoint activity.
+type Stats struct {
+	Sent       int64 // requests transmitted (excluding retries)
+	Retries    int64
+	Replies    int64 // replies transmitted
+	Handled    int64 // handler executions (deduplicated)
+	Duplicates int64 // suppressed duplicate requests
+	Overflows  int64 // arrivals dropped for lack of buffer slots
+	Failures   int64 // sends abandoned after MaxRetries
+}
+
+// Endpoint is one node's attachment to the Active Message layer.
+type Endpoint struct {
+	cfg      Config
+	eng      *sim.Engine
+	node     *node.Node
+	fab      *netsim.Fabric
+	id       netsim.NodeID
+	handlers map[HandlerID]Handler
+
+	tx *sim.Mailbox[*netsim.Packet]
+	rq *sim.Mailbox[*netsim.Packet]
+
+	lowestUnack map[netsim.NodeID]uint64
+	pend        map[uint64]*pending // keyed by seq (seqs are endpoint-global)
+	// outstanding counts asynchronous sends only: synchronous Calls are
+	// bounded by their callers blocking, and including them in the
+	// window would deadlock a handler that Flushes while its own
+	// request's reply is pending.
+	outstanding map[netsim.NodeID]int
+	windowSig   *sim.Signal
+
+	// seen caches processed request seqs per source with their replies,
+	// pruned by the cumulative ackedBelow the source advertises.
+	seen map[netsim.NodeID]map[uint64]cachedReply
+
+	stats    Stats
+	detached bool
+	seq      uint64
+}
+
+type cachedReply struct {
+	val   any
+	bytes int
+	// inProgress marks a request whose handler is still executing in a
+	// worker process; duplicates arriving meanwhile are dropped (the
+	// sender's retry will find the cached reply once it lands).
+	inProgress bool
+}
+
+// NewEndpoint attaches node n to the fabric with the given config and
+// starts its transmit and dispatch processes.
+func NewEndpoint(e *sim.Engine, n *node.Node, fab *netsim.Fabric, cfg Config) *Endpoint {
+	if cfg.BufferSlots <= 0 {
+		cfg.BufferSlots = 64
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 16
+	}
+	if cfg.RetryTimeout <= 0 {
+		cfg.RetryTimeout = sim.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 10
+	}
+	if cfg.CompletionTimeout <= 0 {
+		cfg.CompletionTimeout = 10 * sim.Second
+	}
+	ep := &Endpoint{
+		cfg:         cfg,
+		eng:         e,
+		node:        n,
+		fab:         fab,
+		id:          n.ID(),
+		handlers:    make(map[HandlerID]Handler),
+		tx:          sim.NewMailbox[*netsim.Packet](e, fmt.Sprintf("am%d/tx", n.ID())),
+		rq:          sim.NewMailbox[*netsim.Packet](e, fmt.Sprintf("am%d/rq", n.ID())),
+		lowestUnack: make(map[netsim.NodeID]uint64),
+		pend:        make(map[uint64]*pending),
+		outstanding: make(map[netsim.NodeID]int),
+		windowSig:   sim.NewSignal(e, fmt.Sprintf("am%d/window", n.ID())),
+		seen:        make(map[netsim.NodeID]map[uint64]cachedReply),
+	}
+	fab.SetDeliveryPort(ep.id, cfg.Port, ep.deliver)
+	e.Spawn(fmt.Sprintf("am%d/txproc", n.ID()), ep.txLoop)
+	e.Spawn(fmt.Sprintf("am%d/dispatch", n.ID()), ep.dispatch)
+	return ep
+}
+
+// Node returns the endpoint's host.
+func (ep *Endpoint) Node() *node.Node { return ep.node }
+
+// ID returns the endpoint's fabric address.
+func (ep *Endpoint) ID() netsim.NodeID { return ep.id }
+
+// Config returns the endpoint's configuration.
+func (ep *Endpoint) Config() Config { return ep.cfg }
+
+// Register installs h for id. Re-registering replaces the handler.
+func (ep *Endpoint) Register(id HandlerID, h Handler) {
+	ep.handlers[id] = h
+}
+
+// Detach disconnects the endpoint (simulating a crashed node): incoming
+// packets vanish, nothing is transmitted, and every outstanding send
+// fails immediately — callers blocked in Call or Flush unwedge with
+// errors instead of waiting on a wire that no longer exists. Peers
+// observe ErrTimeout.
+func (ep *Endpoint) Detach() {
+	ep.detached = true
+	ep.fab.SetDeliveryPort(ep.id, ep.cfg.Port, nil)
+	pending := make([]*pending, 0, len(ep.pend))
+	for _, pd := range ep.pend {
+		pending = append(pending, pd)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
+	for _, pd := range pending {
+		ep.complete(pd, nil, true)
+	}
+}
+
+// Stats returns a snapshot of counters.
+func (ep *Endpoint) Stats() Stats { return ep.stats }
+
+// Call sends a request to handler h on dst carrying arg/payloadBytes and
+// blocks until the reply arrives, retrying on loss. It returns the
+// handler's reply value.
+func (ep *Endpoint) Call(p *sim.Proc, dst netsim.NodeID, h HandlerID, arg any, payloadBytes int) (any, error) {
+	pd := ep.post(p, dst, h, arg, payloadBytes, false)
+	for !pd.finished {
+		pd.done.Wait(p)
+	}
+	if pd.failed {
+		return nil, fmt.Errorf("am: call to node %d handler %d: %w", dst, h, ErrTimeout)
+	}
+	return pd.reply, nil
+}
+
+// Send is a reliable one-way message: it blocks until the destination
+// acknowledges (the handler's nil reply). Use SendAsync for pipelined
+// streams.
+func (ep *Endpoint) Send(p *sim.Proc, dst netsim.NodeID, h HandlerID, arg any, payloadBytes int) error {
+	_, err := ep.Call(p, dst, h, arg, payloadBytes)
+	return err
+}
+
+// SendAsync posts a one-way message and returns once it is accepted into
+// the per-destination window, blocking only when Window sends are
+// already outstanding to dst. Losses are retried in the background;
+// permanently failed sends are counted in Stats().Failures.
+func (ep *Endpoint) SendAsync(p *sim.Proc, dst netsim.NodeID, h HandlerID, arg any, payloadBytes int) {
+	for ep.outstanding[dst] >= ep.cfg.Window {
+		ep.windowSig.Wait(p)
+	}
+	ep.post(p, dst, h, arg, payloadBytes, true)
+}
+
+// Flush blocks until every asynchronous send to every destination has
+// been acknowledged or abandoned.
+func (ep *Endpoint) Flush(p *sim.Proc) {
+	for {
+		total := 0
+		for _, n := range ep.outstanding {
+			total += n
+		}
+		if total == 0 {
+			return
+		}
+		ep.windowSig.Wait(p)
+	}
+}
+
+// post charges send overhead, registers the pending entry, and hands the
+// packet to the transmit process.
+func (ep *Endpoint) post(p *sim.Proc, dst netsim.NodeID, h HandlerID, arg any, payloadBytes int, async bool) *pending {
+	if ep.detached {
+		// A crashed host cannot send: fail synchronously.
+		pd := &pending{seq: 0, dst: dst, async: async, finished: true, failed: true}
+		if !async {
+			pd.done = sim.NewSignal(ep.eng, "am/dead")
+		}
+		ep.stats.Failures++
+		return pd
+	}
+	ep.chargeCPU(p, ep.cfg.SendOverhead+sim.Duration(payloadBytes)*ep.cfg.SendPerByte)
+	ep.seq++
+	seq := ep.seq
+	w := &wire{
+		kind:       kindRequest,
+		seq:        seq,
+		handler:    h,
+		arg:        arg,
+		bytes:      payloadBytes,
+		ackedBelow: ep.lowestUnack[dst],
+	}
+	pkt := &netsim.Packet{
+		Src:     ep.id,
+		SrcPort: ep.cfg.Port,
+		Dst:     dst,
+		Port:    ep.cfg.Port,
+		Bytes:   payloadBytes + ep.cfg.HeaderBytes,
+		Payload: w,
+	}
+	pd := &pending{pkt: pkt, seq: seq, dst: dst, async: async}
+	if !async {
+		pd.done = sim.NewSignal(ep.eng, "am/call")
+	}
+	ep.pend[seq] = pd
+	if async {
+		ep.outstanding[dst]++
+	}
+	ep.updateLowestUnack(dst)
+	ep.stats.Sent++
+	ep.tx.Put(pkt)
+	pd.timer = ep.eng.After(ep.timeoutFor(pkt), func() { ep.onTimeout(pd) })
+	return pd
+}
+
+func (ep *Endpoint) onTimeout(pd *pending) {
+	if pd.finished {
+		return
+	}
+	if ep.detached {
+		ep.complete(pd, nil, true)
+		return
+	}
+	if pd.acked {
+		// Acknowledged but unanswered within the completion window: the
+		// reply may have been lost, or the destination crashed. Fall back
+		// to probing — a duplicate request is re-acked while the handler
+		// runs and re-answered from the reply cache once it finishes, so
+		// a live destination always converges. Only a dead one exhausts
+		// the retry budget (acks reset it, see onAck).
+		pd.acked = false
+	}
+	if pd.retries >= ep.cfg.MaxRetries {
+		ep.complete(pd, nil, true)
+		return
+	}
+	pd.retries++
+	ep.stats.Retries++
+	ep.tx.Put(pd.pkt)
+	// Exponential backoff: under congestion (incast at the receiver's
+	// link) the first timeout estimate is wrong by the backlog's depth;
+	// doubling keeps retransmissions from feeding the collapse they are
+	// reacting to.
+	backoff := uint(pd.retries)
+	if backoff > 6 {
+		backoff = 6
+	}
+	pd.timer = ep.eng.After(ep.timeoutFor(pd.pkt)<<backoff, func() { ep.onTimeout(pd) })
+}
+
+// onAck switches a pending send from retransmission mode to the (much
+// longer) completion deadline.
+func (ep *Endpoint) onAck(seq uint64) {
+	pd, ok := ep.pend[seq]
+	if !ok || pd.finished || pd.acked {
+		return
+	}
+	pd.acked = true
+	pd.retries = 0 // a live destination refreshes the retry budget
+	pd.timer.Stop()
+	pd.timer = ep.eng.After(ep.cfg.CompletionTimeout, func() { ep.onTimeout(pd) })
+}
+
+// timeoutFor sizes the retransmission timer to the message: the base
+// timeout plus enough round-trip serialization slack that a large bulk
+// transfer (or one queued behind a full window of them) is not declared
+// lost while it is still streaming onto the wire.
+func (ep *Endpoint) timeoutFor(pkt *netsim.Packet) sim.Duration {
+	ser := ep.fab.SerializationTime(pkt.Bytes)
+	return ep.cfg.RetryTimeout + 2*ser*sim.Duration(ep.cfg.Window+1)
+}
+
+// complete finishes a pending send: failure or reply.
+func (ep *Endpoint) complete(pd *pending, reply any, failed bool) {
+	if pd.finished {
+		return
+	}
+	pd.finished = true
+	pd.reply = reply
+	pd.failed = failed
+	pd.timer.Stop()
+	delete(ep.pend, pd.seq)
+	if pd.async {
+		ep.outstanding[pd.dst]--
+	}
+	ep.updateLowestUnack(pd.dst)
+	if failed {
+		ep.stats.Failures++
+	}
+	if pd.done != nil {
+		pd.done.Broadcast()
+	}
+	ep.windowSig.Broadcast()
+}
+
+// updateLowestUnack recomputes the cumulative-ack horizon for dst.
+func (ep *Endpoint) updateLowestUnack(dst netsim.NodeID) {
+	low := ep.seq + 1
+	found := false
+	for _, pd := range ep.pend {
+		if pd.dst == dst && pd.seq < low {
+			low = pd.seq
+			found = true
+		}
+	}
+	if !found {
+		low = ep.seq + 1
+	}
+	ep.lowestUnack[dst] = low
+}
+
+// chargeCPU accounts protocol processing time. System endpoints (empty
+// Class) run in interrupt context — they must not queue behind a guest
+// job's timeslice, or acks stall and retransmission storms follow.
+// Job-classed endpoints model user-level libraries polled by the
+// application: their processing competes under the local scheduler,
+// which is exactly the Figure 4 effect.
+func (ep *Endpoint) chargeCPU(p *sim.Proc, d sim.Duration) {
+	if ep.cfg.Class == "" {
+		ep.node.CPU.ComputeSystem(p, d)
+		return
+	}
+	ep.node.CPU.ComputeAs(p, ep.cfg.Class, d)
+}
+
+// txLoop drains the transmit queue onto the fabric, serialising packets
+// on the node's link like a NIC DMA engine.
+func (ep *Endpoint) txLoop(p *sim.Proc) {
+	for {
+		pkt := ep.tx.Get(p)
+		if ep.detached {
+			continue
+		}
+		ep.fab.Send(p, pkt)
+	}
+}
+
+// deliver runs at packet arrival (fabric event context): bound buffering
+// then hand to the dispatcher.
+func (ep *Endpoint) deliver(pkt *netsim.Packet) {
+	if ep.detached {
+		return
+	}
+	if ep.rq.Len() >= ep.cfg.BufferSlots {
+		ep.stats.Overflows++
+		return
+	}
+	ep.rq.Put(pkt)
+}
+
+// dispatch drains arrivals: charges receive overhead, deduplicates, runs
+// handlers, and transmits replies.
+func (ep *Endpoint) dispatch(p *sim.Proc) {
+	for {
+		pkt := ep.rq.Get(p)
+		w, ok := pkt.Payload.(*wire)
+		if !ok {
+			continue
+		}
+		ep.chargeCPU(p, ep.cfg.RecvOverhead+sim.Duration(w.bytes)*ep.cfg.RecvPerByte)
+		switch w.kind {
+		case kindRequest:
+			// Transport receipt first: the sender stops retransmitting
+			// while the handler (possibly a long disk operation) runs.
+			ep.tx.Put(&netsim.Packet{
+				Src:     ep.id,
+				SrcPort: ep.cfg.Port,
+				Dst:     pkt.Src,
+				Port:    pkt.SrcPort,
+				Bytes:   ep.cfg.HeaderBytes,
+				Payload: &wire{kind: kindAck, seq: w.seq},
+			})
+			ep.handleRequest(p, pkt, w)
+		case kindReply:
+			if pd, ok := ep.pend[w.seq]; ok {
+				ep.complete(pd, w.arg, false)
+			}
+			// Unknown seq: a duplicate reply for a call that already
+			// completed — drop it.
+		case kindAck:
+			ep.onAck(w.seq)
+		}
+	}
+}
+
+// handleRequest deduplicates and launches the handler. Handlers run in
+// their own worker process so they may block — nested calls, disk I/O —
+// without stalling this endpoint's dispatcher (which must keep matching
+// replies for exactly that kind of nested call).
+func (ep *Endpoint) handleRequest(p *sim.Proc, pkt *netsim.Packet, w *wire) {
+	src := pkt.Src
+	cache := ep.seen[src]
+	if cache == nil {
+		cache = make(map[uint64]cachedReply)
+		ep.seen[src] = cache
+	}
+	// Prune entries the sender has confirmed.
+	for seq := range cache {
+		if seq < w.ackedBelow {
+			delete(cache, seq)
+		}
+	}
+	if cached, dup := cache[w.seq]; dup {
+		ep.stats.Duplicates++
+		if !cached.inProgress {
+			ep.sendReply(p, src, pkt.SrcPort, w.seq, cached.val, cached.bytes)
+		}
+		return
+	}
+	cache[w.seq] = cachedReply{inProgress: true}
+	h := ep.handlers[w.handler]
+	seq := w.seq
+	arg := w.arg
+	bytes := w.bytes
+	srcPort := pkt.SrcPort
+	ep.eng.Spawn(fmt.Sprintf("am%d/h%d", ep.id, w.handler), func(wp *sim.Proc) {
+		var reply any
+		replyBytes := 0
+		if h != nil {
+			reply, replyBytes = h(wp, Msg{Src: src, Arg: arg, Bytes: bytes})
+		}
+		ep.stats.Handled++
+		ep.seen[src][seq] = cachedReply{val: reply, bytes: replyBytes}
+		ep.sendReply(wp, src, srcPort, seq, reply, replyBytes)
+	})
+}
+
+func (ep *Endpoint) sendReply(p *sim.Proc, dst netsim.NodeID, srcPort int, seq uint64, val any, bytes int) {
+	ep.chargeCPU(p, ep.cfg.SendOverhead+sim.Duration(bytes)*ep.cfg.SendPerByte)
+	ep.stats.Replies++
+	ep.tx.Put(&netsim.Packet{
+		Src:     ep.id,
+		SrcPort: ep.cfg.Port,
+		Dst:     dst,
+		Port:    srcPort,
+		Bytes:   bytes + ep.cfg.HeaderBytes,
+		Payload: &wire{kind: kindReply, seq: seq, arg: val, bytes: bytes},
+	})
+}

@@ -1,0 +1,103 @@
+// Package kstack provides the kernel-protocol-stack baselines the paper
+// measures Active Messages against: standard TCP/IP through sockets,
+// single-copy TCP, and sockets layered over AM. All are expressed as
+// cost configurations for the am.Endpoint machinery — the difference
+// between a 1994 kernel stack and user-level AM is *where the cycles
+// go* (per-message kernel crossings and per-byte copies), not the
+// request/reply structure, so one reliable endpoint implementation
+// serves both with different coefficients.
+//
+// Calibration targets, all from the paper's "Low-overhead
+// communication" section:
+//
+//   - SS-10 + Ethernet + TCP: 456 µs overhead-plus-latency per small
+//     message, 9 Mb/s peak bandwidth;
+//   - SS-10 + Synoptics ATM + TCP: 626 µs overhead-plus-latency,
+//     78 Mb/s peak (bandwidth up 8×, small-message time *worse*);
+//   - HP 735 + FDDI: half-power message size 1,350 B for standard TCP,
+//     760 B for single-copy TCP, ≈175 B for Active Messages; sockets
+//     over AM achieve a ≈25 µs one-way time, ≈10× faster than TCP on
+//     identical hardware.
+package kstack
+
+import (
+	"github.com/nowproject/now/internal/proto/am"
+	"github.com/nowproject/now/internal/sim"
+)
+
+// TCPEthernet models the measured SparcStation-10 TCP/IP path over
+// 10 Mb/s Ethernet: ≈180 µs of kernel time per message per side plus
+// two data copies. Small-message overhead+latency ≈456 µs; streaming
+// peak ≈9 Mb/s (wire-limited).
+func TCPEthernet() am.Config {
+	return am.Config{
+		SendOverhead: 180 * sim.Microsecond,
+		RecvOverhead: 180 * sim.Microsecond,
+		SendPerByte:  50 * sim.Nanosecond,
+		RecvPerByte:  50 * sim.Nanosecond,
+		HeaderBytes:  58, // Ethernet + IP + TCP framing
+		BufferSlots:  256,
+		RetryTimeout: 200 * sim.Millisecond, // 1994 TCP coarse timers
+		MaxRetries:   12,
+		Window:       8,
+	}
+}
+
+// TCPATM models the same hosts on a first-generation 155 Mb/s ATM LAN:
+// more bandwidth, but an *even more* expensive driver path (cell
+// segmentation and reassembly in software) — the paper's point that
+// bandwidth upgrades alone buy little.
+func TCPATM() am.Config {
+	cfg := TCPEthernet()
+	cfg.SendOverhead = 290 * sim.Microsecond
+	cfg.RecvOverhead = 290 * sim.Microsecond
+	cfg.SendPerByte = 25 * sim.Nanosecond
+	cfg.RecvPerByte = 26 * sim.Nanosecond
+	cfg.HeaderBytes = 65 // TCP/IP plus AAL5 framing
+	return cfg
+}
+
+// TCPFDDI is the standard-TCP path on the HP 735/Medusa hardware used
+// for the half-power comparison: ≈115 µs kernel time per side and two
+// copies, giving a ≈1,350-byte half-power point.
+func TCPFDDI() am.Config {
+	cfg := TCPEthernet()
+	cfg.SendOverhead = 115 * sim.Microsecond
+	cfg.RecvOverhead = 115 * sim.Microsecond
+	cfg.SendPerByte = 50 * sim.Nanosecond
+	cfg.RecvPerByte = 50 * sim.Nanosecond
+	return cfg
+}
+
+// SingleCopyTCPFDDI removes one of the two data copies and trims the
+// per-message path, moving the half-power point to ≈760 bytes.
+func SingleCopyTCPFDDI() am.Config {
+	cfg := TCPFDDI()
+	cfg.SendOverhead = 50 * sim.Microsecond
+	cfg.RecvOverhead = 50 * sim.Microsecond
+	cfg.SendPerByte = 25 * sim.Nanosecond
+	cfg.RecvPerByte = 25 * sim.Nanosecond
+	return cfg
+}
+
+// SocketsOverAM layers a conventional sockets interface on an Active
+// Messages base: the paper measures a one-way message time of ≈25 µs
+// this way — nearly an order of magnitude better than TCP on the same
+// hardware. The socket veneer costs a small fixed amount per side.
+func SocketsOverAM(base am.Config) am.Config {
+	base.SendOverhead += 1 * sim.Microsecond
+	base.RecvOverhead += 1 * sim.Microsecond
+	return base
+}
+
+// PVMEthernet approximates PVM (Parallel Virtual Machine) message
+// passing over Ethernet sockets — Table 4's baseline NOW configuration.
+// PVM adds routing through its daemon and extra copies on top of TCP.
+func PVMEthernet() am.Config {
+	cfg := TCPEthernet()
+	cfg.SendOverhead = 300 * sim.Microsecond
+	cfg.RecvOverhead = 300 * sim.Microsecond
+	cfg.SendPerByte = 80 * sim.Nanosecond
+	cfg.RecvPerByte = 80 * sim.Nanosecond
+	return cfg
+}

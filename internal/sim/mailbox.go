@@ -1,0 +1,107 @@
+package sim
+
+// Mailbox is an unbounded FIFO channel between simulated processes. It
+// is the building block for NIC receive queues, RPC reply slots, and
+// scheduler run queues. Senders never block (bounded behaviour such as
+// NIC buffer overflow is modelled explicitly by the protocol layers,
+// which is where the paper's Column benchmark loses). Receivers block,
+// optionally with a deadline.
+type Mailbox[T any] struct {
+	eng     *Engine
+	name    string
+	items   []T
+	waiters []*mboxWaiter[T]
+}
+
+type mboxWaiter[T any] struct {
+	p       *Proc
+	val     T
+	timer   Timer
+	granted bool
+}
+
+// NewMailbox creates an empty mailbox on e.
+func NewMailbox[T any](e *Engine, name string) *Mailbox[T] {
+	return &Mailbox[T]{eng: e, name: name}
+}
+
+// Put deposits v, waking the longest-waiting receiver if any. It never
+// blocks and may be called from event callbacks as well as processes.
+func (m *Mailbox[T]) Put(v T) {
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		w.granted = true
+		w.timer.Stop()
+		w.val = v
+		wp := w.p
+		m.eng.After(0, func() { wp.wakeNow(wake{}) })
+		return
+	}
+	m.items = append(m.items, v)
+}
+
+// Get blocks p until an item is available and returns it.
+func (m *Mailbox[T]) Get(p *Proc) T {
+	v, _ := m.getDeadline(p, -1)
+	return v
+}
+
+// GetTimeout is Get with a deadline; ok is false when the deadline fired
+// first (and no item was consumed).
+func (m *Mailbox[T]) GetTimeout(p *Proc, d Duration) (v T, ok bool) {
+	return m.getDeadline(p, d)
+}
+
+func (m *Mailbox[T]) getDeadline(p *Proc, d Duration) (v T, ok bool) {
+	if len(m.items) > 0 {
+		v = m.items[0]
+		var zero T
+		m.items[0] = zero
+		m.items = m.items[1:]
+		return v, true
+	}
+	w := &mboxWaiter[T]{p: p}
+	m.waiters = append(m.waiters, w)
+	if d >= 0 {
+		w.timer = m.eng.After(d, func() {
+			if w.granted {
+				return
+			}
+			m.removeWaiter(w)
+			p.wakeNow(wake{timeout: true})
+		})
+	}
+	tok := p.park()
+	if tok.timeout {
+		return v, false
+	}
+	return w.val, true
+}
+
+// TryGet returns an item without blocking; ok reports success.
+func (m *Mailbox[T]) TryGet() (v T, ok bool) {
+	if len(m.items) == 0 {
+		return v, false
+	}
+	v = m.items[0]
+	var zero T
+	m.items[0] = zero
+	m.items = m.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (m *Mailbox[T]) Len() int { return len(m.items) }
+
+// Waiting returns the number of blocked receivers.
+func (m *Mailbox[T]) Waiting() int { return len(m.waiters) }
+
+func (m *Mailbox[T]) removeWaiter(w *mboxWaiter[T]) {
+	for i, q := range m.waiters {
+		if q == w {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return
+		}
+	}
+}

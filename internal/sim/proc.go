@@ -1,0 +1,144 @@
+package sim
+
+import "fmt"
+
+// killSentinel is the panic value used to unwind a process goroutine
+// when the engine tears it down. It never escapes the package: Proc.run
+// recovers it. This is internal control flow, not error signalling.
+type killSentinel struct{}
+
+// wake is the token a parked process receives when resumed.
+type wake struct {
+	kill    bool // engine teardown: unwind the goroutine
+	timeout bool // the wait's deadline fired before the condition
+}
+
+// Proc is a simulated process: a goroutine whose blocking operations
+// (Sleep, Resource.Acquire, Mailbox.Get, Signal.Wait, ...) park it until
+// the engine resumes it at a later virtual time. At most one process
+// executes at any moment, so process code needs no locking around
+// simulation state.
+type Proc struct {
+	eng    *Engine
+	id     int
+	name   string
+	resume chan wake
+	done   bool
+}
+
+// Spawn starts body as a new simulated process at the current virtual
+// time. The body runs when the engine reaches the scheduling event; it
+// may block on simulation primitives and must not block on real OS
+// resources. The returned Proc is also passed to body.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{eng: e, id: e.nextPID, name: name, resume: make(chan wake)}
+	e.nextPID++
+	e.At(e.now, func() {
+		e.procs[p] = struct{}{}
+		go p.run(body)
+		<-e.parked
+	})
+	return p
+}
+
+// SpawnAt is Spawn with an explicit start time, used by workload
+// generators replaying traces.
+func (e *Engine) SpawnAt(t Time, name string, body func(p *Proc)) *Proc {
+	p := &Proc{eng: e, id: e.nextPID, name: name, resume: make(chan wake)}
+	e.nextPID++
+	e.At(t, func() {
+		e.procs[p] = struct{}{}
+		go p.run(body)
+		<-e.parked
+	})
+	return p
+}
+
+func (p *Proc) run(body func(p *Proc)) {
+	defer func() {
+		p.done = true
+		delete(p.eng.procs, p)
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); !ok {
+				// A real bug in process code: surface it as a run failure
+				// instead of crashing the host test binary.
+				p.eng.Fail(fmt.Errorf("sim: process %q panicked: %v", p.name, r))
+			}
+		}
+		p.eng.parked <- struct{}{}
+	}()
+	body(p)
+}
+
+// park blocks the process until a wake token arrives, yielding control
+// back to the engine's event loop.
+func (p *Proc) park() wake {
+	p.eng.parked <- struct{}{}
+	w := <-p.resume
+	if w.kill {
+		panic(killSentinel{})
+	}
+	return w
+}
+
+// wakeNow resumes p immediately; callable only from inside an engine
+// event callback (or another process's turn, which is the same thing).
+func (p *Proc) wakeNow(w wake) {
+	p.resume <- w
+	<-p.eng.parked
+}
+
+// kill tears the process down during Engine.Close.
+func (p *Proc) kill() {
+	if p.done {
+		delete(p.eng.procs, p)
+		return
+	}
+	p.wakeNow(wake{kill: true})
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the engine-unique process id (assigned in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Sleep parks the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.After(d, func() { p.wakeNow(wake{}) })
+	p.park()
+}
+
+// SleepUntil parks the process until virtual time t (no-op if t has
+// passed).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.eng.Now() {
+		return
+	}
+	p.eng.At(t, func() { p.wakeNow(wake{}) })
+	p.park()
+}
+
+// Yield reschedules the process at the current time behind already
+// queued events, letting same-time work interleave fairly.
+func (p *Proc) Yield() {
+	p.eng.After(0, func() { p.wakeNow(wake{}) })
+	p.park()
+}
+
+// Fail aborts the whole simulation with err; used when a process detects
+// an invariant violation that invalidates the run.
+func (p *Proc) Fail(err error) {
+	p.eng.Fail(err)
+	// Unwind this goroutine; the engine will return the failure.
+	panic(killSentinel{})
+}

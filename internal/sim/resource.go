@@ -1,0 +1,144 @@
+package sim
+
+// Resource models a server with integer capacity — a CPU, a disk arm, a
+// shared Ethernet segment, a switch port. Processes Acquire units, hold
+// them for some virtual time, and Release them; contention produces the
+// queueing delays the NOW paper reasons about. Waiters are served FIFO.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	queue    []*resWaiter
+
+	// Usage accounting for utilisation reports.
+	busy       Time // integral of inUse over time, in unit·ns
+	lastChange Time
+	acquires   int64
+}
+
+type resWaiter struct {
+	p     *Proc
+	n     int
+	timer Timer
+	// granted distinguishes a grant racing with a timeout at equal time.
+	granted bool
+}
+
+// NewResource creates a resource with the given capacity (units > 0).
+func NewResource(e *Engine, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Resource{eng: e, name: name, capacity: capacity}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+func (r *Resource) account() {
+	now := r.eng.Now()
+	r.busy += Time(int64(r.inUse) * int64(now-r.lastChange))
+	r.lastChange = now
+}
+
+// Acquire blocks p until n units are available and takes them.
+func (r *Resource) Acquire(p *Proc, n int) {
+	r.acquireDeadline(p, n, -1)
+}
+
+// AcquireTimeout is Acquire with a deadline; it reports whether the
+// units were obtained (false means the wait timed out and nothing is
+// held).
+func (r *Resource) AcquireTimeout(p *Proc, n int, d Duration) bool {
+	return r.acquireDeadline(p, n, d)
+}
+
+func (r *Resource) acquireDeadline(p *Proc, n int, d Duration) bool {
+	r.eng.invariant(n > 0 && n <= r.capacity, "resource %s: acquire %d of %d", r.name, n, r.capacity)
+	if len(r.queue) == 0 && r.inUse+n <= r.capacity {
+		r.account()
+		r.inUse += n
+		r.acquires++
+		return true
+	}
+	w := &resWaiter{p: p, n: n}
+	r.queue = append(r.queue, w)
+	if d >= 0 {
+		w.timer = r.eng.After(d, func() {
+			if w.granted {
+				return
+			}
+			r.remove(w)
+			p.wakeNow(wake{timeout: true})
+		})
+	}
+	tok := p.park()
+	return !tok.timeout
+}
+
+// Release returns n units and grants queued waiters in FIFO order.
+func (r *Resource) Release(n int) {
+	r.eng.invariant(n > 0 && n <= r.inUse, "resource %s: release %d with %d in use", r.name, n, r.inUse)
+	r.account()
+	r.inUse -= n
+	r.grant()
+}
+
+func (r *Resource) grant() {
+	for len(r.queue) > 0 {
+		w := r.queue[0]
+		if r.inUse+w.n > r.capacity {
+			return
+		}
+		r.queue = r.queue[1:]
+		w.granted = true
+		w.timer.Stop()
+		r.account()
+		r.inUse += w.n
+		r.acquires++
+		wp := w.p
+		r.eng.After(0, func() { wp.wakeNow(wake{}) })
+	}
+}
+
+func (r *Resource) remove(w *resWaiter) {
+	for i, q := range r.queue {
+		if q == w {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Use acquires n units, holds them for d, and releases them: the basic
+// "service time at a station" operation.
+func (r *Resource) Use(p *Proc, n int, d Duration) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}
+
+// Utilization reports the time-averaged fraction of capacity in use
+// since the engine started.
+func (r *Resource) Utilization() float64 {
+	now := r.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	busy := r.busy + Time(int64(r.inUse)*int64(now-r.lastChange))
+	return float64(busy) / (float64(now) * float64(r.capacity))
+}
+
+// Acquires returns the number of successful acquisitions, a throughput
+// counter for experiments.
+func (r *Resource) Acquires() int64 { return r.acquires }

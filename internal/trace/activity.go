@@ -1,0 +1,240 @@
+// Package trace generates the synthetic workloads standing in for the
+// traces the Berkeley NOW team collected and we cannot have:
+//
+//   - two months of DECstation activity logs from 53 EE-grad-student
+//     workstations (≈3,000 workstation-days), driving the idle-machine
+//     and recruitment studies (Figure 3, availability claims);
+//   - one month of parallel-job logs from a 32-node CM-5 at Los Alamos
+//     (production and development runs), the MPP side of Figure 3;
+//   - a two-day block-level file system trace from 42 Berkeley
+//     workstations, driving the cooperative-caching study (Table 3);
+//   - one week of NFS traffic from 230 clients of the departmental
+//     servers (95% of messages under 200 bytes), driving the
+//     bandwidth-versus-overhead study.
+//
+// Every generator is a pure function of its config and seed, so the
+// experiment harness is deterministic end to end.
+package trace
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+// ActivityEvent marks a workstation's user turning active or going
+// idle at time T.
+type ActivityEvent struct {
+	T      sim.Time
+	WS     int
+	Active bool
+}
+
+// ActivityTrace is a day-by-day record of interactive use across a
+// cluster of workstations, in time order.
+type ActivityTrace struct {
+	Workstations int
+	Length       sim.Duration
+	Events       []ActivityEvent
+}
+
+// ActivityConfig shapes the synthetic interactive workload.
+type ActivityConfig struct {
+	// Workstations is the cluster size.
+	Workstations int
+	// Days of trace to generate.
+	Days int
+	// UnusedProb is the chance a workstation sees no user at all on a
+	// given day. The paper measured that even during daytime hours more
+	// than 60% of machines were available 100% of the time; EE-grad
+	// workstations largely sit idle.
+	UnusedProb float64
+	// MeanSessions is the mean number of active sessions a present user
+	// has per day; sessions cluster in working hours.
+	MeanSessions float64
+	// MeanSessionLen is the mean length of one active session.
+	MeanSessionLen sim.Duration
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// DefaultActivityConfig mirrors the Berkeley measurement environment.
+func DefaultActivityConfig(workstations, days int) ActivityConfig {
+	return ActivityConfig{
+		Workstations:   workstations,
+		Days:           days,
+		UnusedProb:     0.67,
+		MeanSessions:   9,
+		MeanSessionLen: 18 * sim.Minute,
+		Seed:           1,
+	}
+}
+
+// GenerateActivity produces an activity trace from cfg.
+func GenerateActivity(cfg ActivityConfig) *ActivityTrace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &ActivityTrace{
+		Workstations: cfg.Workstations,
+		Length:       sim.Duration(cfg.Days) * 24 * sim.Hour,
+	}
+	for day := 0; day < cfg.Days; day++ {
+		dayStart := sim.Time(day) * 24 * sim.Hour
+		for ws := 0; ws < cfg.Workstations; ws++ {
+			if rng.Float64() < cfg.UnusedProb {
+				continue // nobody at this desk today
+			}
+			// Sessions cluster around a per-user workday: arrival
+			// normally distributed around 9:30, departure around 18:00.
+			arrive := dayStart + normalDur(rng, 9*sim.Hour+30*sim.Minute, sim.Hour)
+			depart := dayStart + normalDur(rng, 18*sim.Hour, 90*sim.Minute)
+			if depart <= arrive {
+				continue
+			}
+			n := 1 + rng.Intn(int(2*cfg.MeanSessions)) // uniform, mean ≈ MeanSessions
+			for s := 0; s < n; s++ {
+				start := arrive + sim.Duration(rng.Int63n(int64(depart-arrive)))
+				length := expDur(rng, cfg.MeanSessionLen)
+				end := start + length
+				if end > depart {
+					end = depart
+				}
+				if end <= start {
+					continue
+				}
+				tr.Events = append(tr.Events,
+					ActivityEvent{T: start, WS: ws, Active: true},
+					ActivityEvent{T: end, WS: ws, Active: false})
+			}
+		}
+	}
+	sort.Slice(tr.Events, func(i, j int) bool {
+		if tr.Events[i].T != tr.Events[j].T {
+			return tr.Events[i].T < tr.Events[j].T
+		}
+		if tr.Events[i].WS != tr.Events[j].WS {
+			return tr.Events[i].WS < tr.Events[j].WS
+		}
+		// Deactivations before activations at the same instant.
+		return !tr.Events[i].Active && tr.Events[j].Active
+	})
+	return tr
+}
+
+// normalDur draws a normal variate with the given mean and stddev,
+// clamped to non-negative.
+func normalDur(rng *rand.Rand, mean, stddev sim.Duration) sim.Duration {
+	v := float64(mean) + rng.NormFloat64()*float64(stddev)
+	if v < 0 {
+		v = 0
+	}
+	return sim.Duration(v)
+}
+
+// expDur draws an exponential variate with the given mean.
+func expDur(rng *rand.Rand, mean sim.Duration) sim.Duration {
+	return sim.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// BusyIntervals returns, per workstation, the merged list of [start,
+// end) intervals during which its user was active.
+func (tr *ActivityTrace) BusyIntervals() [][][2]sim.Time {
+	type open struct {
+		start sim.Time
+		depth int
+	}
+	states := make([]open, tr.Workstations)
+	out := make([][][2]sim.Time, tr.Workstations)
+	for _, ev := range tr.Events {
+		st := &states[ev.WS]
+		if ev.Active {
+			if st.depth == 0 {
+				st.start = ev.T
+			}
+			st.depth++
+		} else if st.depth > 0 {
+			st.depth--
+			if st.depth == 0 {
+				out[ev.WS] = append(out[ev.WS], [2]sim.Time{st.start, ev.T})
+			}
+		}
+	}
+	for ws := range states {
+		if states[ws].depth > 0 {
+			out[ws] = append(out[ws], [2]sim.Time{states[ws].start, tr.Length})
+		}
+	}
+	for ws := range out {
+		out[ws] = mergeIntervals(out[ws])
+	}
+	return out
+}
+
+func mergeIntervals(in [][2]sim.Time) [][2]sim.Time {
+	if len(in) == 0 {
+		return in
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i][0] < in[j][0] })
+	out := in[:1]
+	for _, iv := range in[1:] {
+		last := &out[len(out)-1]
+		if iv[0] <= last[1] {
+			if iv[1] > last[1] {
+				last[1] = iv[1]
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// FractionFullyIdle reports the fraction of workstations with no user
+// activity at all inside [from, to) — the paper's "available 100% of
+// the time" metric, typically evaluated over daytime hours.
+func (tr *ActivityTrace) FractionFullyIdle(from, to sim.Time) float64 {
+	busy := tr.BusyIntervals()
+	idle := 0
+	for ws := 0; ws < tr.Workstations; ws++ {
+		touched := false
+		for _, iv := range busy[ws] {
+			if iv[0] < to && iv[1] > from {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			idle++
+		}
+	}
+	if tr.Workstations == 0 {
+		return 0
+	}
+	return float64(idle) / float64(tr.Workstations)
+}
+
+// AvailableAt reports how many workstations have no active user at t.
+func (tr *ActivityTrace) AvailableAt(t sim.Time) int {
+	busy := tr.BusyIntervals()
+	n := 0
+	for ws := 0; ws < tr.Workstations; ws++ {
+		active := false
+		for _, iv := range busy[ws] {
+			if iv[0] <= t && t < iv[1] {
+				active = true
+				break
+			}
+		}
+		if !active {
+			n++
+		}
+	}
+	return n
+}
+
+// Daytime returns the [from, to) window of working hours for a given
+// day index, the window the paper's availability claims cover.
+func Daytime(day int) (from, to sim.Time) {
+	base := sim.Time(day) * 24 * sim.Hour
+	return base + 9*sim.Hour, base + 17*sim.Hour
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestActivityCSVRoundTrip(t *testing.T) {
+	orig := GenerateActivity(DefaultActivityConfig(6, 1))
+	var buf bytes.Buffer
+	if err := WriteActivityCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadActivityCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(orig.Events) {
+		t.Fatalf("events: %d vs %d", len(got.Events), len(orig.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != orig.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	if got.Workstations > orig.Workstations {
+		t.Fatalf("workstations: %d vs %d", got.Workstations, orig.Workstations)
+	}
+}
+
+func TestJobsCSVRoundTrip(t *testing.T) {
+	orig := GenerateJobs(DefaultJobTraceConfig(12 * 3600 * 1e9))
+	var buf bytes.Buffer
+	if err := WriteJobsCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJobsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("jobs: %d vs %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i] != orig[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestFileAccessCSVRoundTrip(t *testing.T) {
+	cfg := DefaultFileTraceConfig()
+	cfg.Accesses = 500
+	orig := GenerateFileTrace(cfg)
+	var buf bytes.Buffer
+	if err := WriteFileAccessCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFileAccessCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("accesses: %d vs %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i] != orig[i] {
+			t.Fatalf("access %d differs", i)
+		}
+	}
+}
+
+func TestCSVReadersRejectGarbage(t *testing.T) {
+	if _, err := ReadActivityCSV(strings.NewReader("")); err == nil {
+		t.Error("empty activity accepted")
+	}
+	if _, err := ReadJobsCSV(strings.NewReader("id,arrive_ns,nodes,work_ns,grain_ns\nx,y,z,w,v\n")); err == nil {
+		t.Error("garbage jobs accepted")
+	}
+	if _, err := ReadFileAccessCSV(strings.NewReader("h\n1\n")); err == nil {
+		t.Error("short file rows accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+// FileAccess is one block-level file system operation by a client.
+type FileAccess struct {
+	T      sim.Time
+	Client int
+	File   uint32
+	Block  uint32
+	Write  bool
+}
+
+// FileTraceConfig shapes the two-day, 42-workstation file system trace
+// behind the cooperative caching study.
+type FileTraceConfig struct {
+	Clients int
+	Length  sim.Duration
+	// Accesses is the total number of block operations to generate.
+	Accesses int
+	// BlockSize in bytes (8 KB in the study).
+	BlockSize int
+	// SharedFiles is the number of widely shared files (executables,
+	// fonts, headers); SharedFileBlocks their size in blocks. Shared
+	// files are read-mostly and Zipf-popular across every client.
+	SharedFiles      int
+	SharedFileBlocks int
+	// PrivateFilesPerClient and PrivateFileBlocks describe each client's
+	// own working set (mail, sources, simulation outputs).
+	PrivateFilesPerClient int
+	PrivateFileBlocks     int
+	// SharedFraction of accesses go to the shared pool.
+	SharedFraction float64
+	// WriteFraction of accesses are writes (traces were read-dominated).
+	WriteFraction float64
+	// ZipfS is the Zipf skew for file popularity.
+	ZipfS float64
+	// PreferenceStride rotates each client's shared-file popularity
+	// ranking by client*stride: users rerun *their* tools, with partial
+	// overlap between colleagues. Zero gives every client the same
+	// ranking.
+	PreferenceStride int
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// DefaultFileTraceConfig mirrors the Table 3 setting: 42 client
+// workstations over two days.
+func DefaultFileTraceConfig() FileTraceConfig {
+	return FileTraceConfig{
+		Clients:               42,
+		Length:                48 * sim.Hour,
+		Accesses:              400_000,
+		BlockSize:             8192,
+		SharedFiles:           450,
+		SharedFileBlocks:      32,
+		PrivateFilesPerClient: 14,
+		PrivateFileBlocks:     16,
+		SharedFraction:        0.6,
+		WriteFraction:         0.12,
+		ZipfS:                 1.55,
+		PreferenceStride:      11,
+		Seed:                  1,
+	}
+}
+
+// zipf draws ranks in [0, n) with P(r) ∝ 1/(r+1)^s using inversion on a
+// precomputed CDF.
+type zipf struct {
+	cdf []float64
+}
+
+func newZipf(n int, s float64) *zipf {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &zipf{cdf: cdf}
+}
+
+func (z *zipf) draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// GenerateFileTrace produces a block-access trace from cfg, in time
+// order. File IDs: shared files occupy [0, SharedFiles); client c's
+// private files occupy [SharedFiles + c*PrivateFilesPerClient, ...).
+func GenerateFileTrace(cfg FileTraceConfig) []FileAccess {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sharedPop := newZipf(cfg.SharedFiles, cfg.ZipfS)
+	privatePop := newZipf(cfg.PrivateFilesPerClient, cfg.ZipfS)
+	out := make([]FileAccess, 0, cfg.Accesses)
+	step := sim.Duration(int64(cfg.Length) / int64(cfg.Accesses+1))
+	// Per-client sequential position for run-like access within a file.
+	type cursor struct {
+		file uint32
+		next uint32
+		left int
+	}
+	cursors := make([]cursor, cfg.Clients)
+	t := sim.Time(0)
+	for i := 0; i < cfg.Accesses; i++ {
+		t += step
+		c := rng.Intn(cfg.Clients)
+		cur := &cursors[c]
+		if cur.left <= 0 {
+			// Pick a new file and a sequential run inside it.
+			var file uint32
+			var blocks int
+			if rng.Float64() < cfg.SharedFraction {
+				rank := sharedPop.draw(rng)
+				file = uint32((rank + c*cfg.PreferenceStride) % cfg.SharedFiles)
+				blocks = cfg.SharedFileBlocks
+			} else {
+				file = uint32(cfg.SharedFiles + c*cfg.PrivateFilesPerClient + privatePop.draw(rng))
+				blocks = cfg.PrivateFileBlocks
+			}
+			start := rng.Intn(blocks)
+			runLen := 1 + rng.Intn(blocks-start)
+			if runLen > 24 {
+				runLen = 24
+			}
+			cur.file = file
+			cur.next = uint32(start)
+			cur.left = runLen
+		}
+		out = append(out, FileAccess{
+			T:      t,
+			Client: c,
+			File:   cur.file,
+			Block:  cur.next,
+			Write:  rng.Float64() < cfg.WriteFraction,
+		})
+		cur.next++
+		cur.left--
+	}
+	return out
+}
+
+// NFSOp is one message of departmental NFS traffic: metadata queries
+// (lookups, getattrs) are small request/reply pairs; data operations
+// move a block.
+type NFSOp struct {
+	// RequestBytes and ReplyBytes are the wire payloads.
+	RequestBytes int
+	ReplyBytes   int
+	// Metadata marks the small-RPC class (95% of traffic).
+	Metadata bool
+}
+
+// NFSTraceConfig shapes the one-week, 230-client NFS mix.
+type NFSTraceConfig struct {
+	Ops int
+	// MetadataFraction of messages are small metadata RPCs; the paper
+	// measured 95% of NFS messages under 200 bytes.
+	MetadataFraction float64
+	BlockSize        int
+	Seed             int64
+}
+
+// DefaultNFSTraceConfig mirrors the departmental measurement.
+func DefaultNFSTraceConfig() NFSTraceConfig {
+	return NFSTraceConfig{Ops: 100_000, MetadataFraction: 0.95, BlockSize: 8192, Seed: 1}
+}
+
+// GenerateNFS produces the operation mix.
+func GenerateNFS(cfg NFSTraceConfig) []NFSOp {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]NFSOp, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		if rng.Float64() < cfg.MetadataFraction {
+			out = append(out, NFSOp{
+				RequestBytes: 60 + rng.Intn(80),
+				ReplyBytes:   80 + rng.Intn(100),
+				Metadata:     true,
+			})
+		} else {
+			out = append(out, NFSOp{
+				RequestBytes: 120,
+				ReplyBytes:   cfg.BlockSize,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+// ParallelJob is one entry of the LANL-style CM-5 job log: a gang of
+// Nodes processes arriving at Arrive, each needing Work of CPU time,
+// alternating computation with communication of the given intensity.
+type ParallelJob struct {
+	ID     int
+	Arrive sim.Time
+	Nodes  int
+	// Work is per-process CPU demand.
+	Work sim.Duration
+	// CommGrain is how long a process computes between communication
+	// phases; smaller means more tightly coupled.
+	CommGrain sim.Duration
+}
+
+// JobTraceConfig shapes the parallel-machine workload.
+type JobTraceConfig struct {
+	// MachineNodes is the MPP's size (32 for the LANL CM-5 partition).
+	MachineNodes int
+	// Length of the trace.
+	Length sim.Duration
+	// MeanInterarrival between job submissions.
+	MeanInterarrival sim.Duration
+	// DevFraction of jobs are short development runs; the rest are
+	// production runs, an order of magnitude longer.
+	DevFraction float64
+	// MeanDevWork and MeanProdWork are per-process CPU demands.
+	MeanDevWork  sim.Duration
+	MeanProdWork sim.Duration
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// DefaultJobTraceConfig mirrors the month of 32-node CM-5 data: a mix of
+// production and development runs.
+func DefaultJobTraceConfig(length sim.Duration) JobTraceConfig {
+	return JobTraceConfig{
+		MachineNodes:     32,
+		Length:           length,
+		MeanInterarrival: 25 * sim.Minute,
+		DevFraction:      0.7,
+		MeanDevWork:      4 * sim.Minute,
+		MeanProdWork:     45 * sim.Minute,
+		Seed:             1,
+	}
+}
+
+// GenerateJobs produces a job log from cfg, sorted by arrival.
+func GenerateJobs(cfg JobTraceConfig) []ParallelJob {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var jobs []ParallelJob
+	t := sim.Time(0)
+	id := 0
+	for {
+		t += expDur(rng, cfg.MeanInterarrival)
+		if t >= cfg.Length {
+			break
+		}
+		j := ParallelJob{ID: id, Arrive: t}
+		id++
+		// Node counts are powers of two up to the machine size, skewed
+		// toward the full partition for production runs.
+		if rng.Float64() < cfg.DevFraction {
+			j.Work = expDur(rng, cfg.MeanDevWork)
+			j.Nodes = 1 << rng.Intn(log2(cfg.MachineNodes)+1)
+		} else {
+			j.Work = expDur(rng, cfg.MeanProdWork)
+			// Production: half use the full machine.
+			if rng.Float64() < 0.5 {
+				j.Nodes = cfg.MachineNodes
+			} else {
+				j.Nodes = 1 << (rng.Intn(log2(cfg.MachineNodes)) + 1)
+			}
+		}
+		if j.Nodes > cfg.MachineNodes {
+			j.Nodes = cfg.MachineNodes
+		}
+		if j.Work < 10*sim.Second {
+			j.Work = 10 * sim.Second
+		}
+		// Coupling: development runs communicate less often.
+		if j.Work < 10*sim.Minute {
+			j.CommGrain = 200 * sim.Millisecond
+		} else {
+			j.CommGrain = 50 * sim.Millisecond
+		}
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].Arrive < jobs[k].Arrive })
+	return jobs
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// TotalWork sums Nodes×Work over the log — the demand side of the
+// Figure 3 capacity question.
+func TotalWork(jobs []ParallelJob) sim.Duration {
+	var total sim.Duration
+	for _, j := range jobs {
+		total += j.Work * sim.Duration(j.Nodes)
+	}
+	return total
+}

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+func TestActivityDeterministic(t *testing.T) {
+	cfg := DefaultActivityConfig(10, 2)
+	a := GenerateActivity(cfg)
+	b := GenerateActivity(cfg)
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestActivityEventsSortedAndPaired(t *testing.T) {
+	tr := GenerateActivity(DefaultActivityConfig(20, 3))
+	var last sim.Time
+	for _, ev := range tr.Events {
+		if ev.T < last {
+			t.Fatal("events out of order")
+		}
+		last = ev.T
+		if ev.WS < 0 || ev.WS >= tr.Workstations {
+			t.Fatalf("bad workstation %d", ev.WS)
+		}
+		if ev.T > tr.Length {
+			t.Fatalf("event beyond trace length")
+		}
+	}
+}
+
+func TestDaytimeAvailabilityMatchesPaper(t *testing.T) {
+	// Paper: "even during the daytime hours, more than 60 percent of
+	// workstations were available 100 percent of the time."
+	tr := GenerateActivity(DefaultActivityConfig(53, 10))
+	total := 0.0
+	for day := 0; day < 10; day++ {
+		from, to := Daytime(day)
+		total += tr.FractionFullyIdle(from, to)
+	}
+	avg := total / 10
+	if avg < 0.60 {
+		t.Fatalf("avg daytime fully-idle fraction = %.2f, want > 0.60", avg)
+	}
+	if avg > 0.85 {
+		t.Fatalf("avg daytime fully-idle fraction = %.2f suspiciously high", avg)
+	}
+}
+
+func TestBusyIntervalsMergedAndOrdered(t *testing.T) {
+	tr := GenerateActivity(DefaultActivityConfig(30, 2))
+	busy := tr.BusyIntervals()
+	for ws, ivs := range busy {
+		for i, iv := range ivs {
+			if iv[0] >= iv[1] {
+				t.Fatalf("ws %d: empty interval %v", ws, iv)
+			}
+			if i > 0 && ivs[i-1][1] > iv[0] {
+				t.Fatalf("ws %d: overlapping intervals %v %v", ws, ivs[i-1], iv)
+			}
+		}
+	}
+}
+
+func TestAvailableAtConsistentWithIntervals(t *testing.T) {
+	tr := GenerateActivity(DefaultActivityConfig(40, 1))
+	at := 13 * sim.Hour // mid-afternoon
+	avail := tr.AvailableAt(at)
+	busy := tr.BusyIntervals()
+	count := 0
+	for ws := 0; ws < tr.Workstations; ws++ {
+		active := false
+		for _, iv := range busy[ws] {
+			if iv[0] <= at && at < iv[1] {
+				active = true
+			}
+		}
+		if !active {
+			count++
+		}
+	}
+	if avail != count {
+		t.Fatalf("AvailableAt = %d, recount = %d", avail, count)
+	}
+}
+
+func TestJobsRespectMachineSize(t *testing.T) {
+	cfg := DefaultJobTraceConfig(30 * 24 * sim.Hour)
+	jobs := GenerateJobs(cfg)
+	if len(jobs) < 100 {
+		t.Fatalf("only %d jobs in a month", len(jobs))
+	}
+	var lastArrive sim.Time
+	for _, j := range jobs {
+		if j.Nodes < 1 || j.Nodes > cfg.MachineNodes {
+			t.Fatalf("job %d has %d nodes", j.ID, j.Nodes)
+		}
+		if j.Nodes&(j.Nodes-1) != 0 {
+			t.Fatalf("job %d nodes %d not a power of two", j.ID, j.Nodes)
+		}
+		if j.Work <= 0 || j.CommGrain <= 0 {
+			t.Fatalf("job %d degenerate: %+v", j.ID, j)
+		}
+		if j.Arrive < lastArrive {
+			t.Fatal("jobs not sorted by arrival")
+		}
+		lastArrive = j.Arrive
+	}
+}
+
+func TestJobMixHasProductionAndDev(t *testing.T) {
+	jobs := GenerateJobs(DefaultJobTraceConfig(30 * 24 * sim.Hour))
+	long, short := 0, 0
+	for _, j := range jobs {
+		if j.Work > 20*sim.Minute {
+			long++
+		} else {
+			short++
+		}
+	}
+	if long == 0 || short == 0 {
+		t.Fatalf("mix degenerate: %d long, %d short", long, short)
+	}
+	if TotalWork(jobs) <= 0 {
+		t.Fatal("no total work")
+	}
+}
+
+func TestFileTraceShape(t *testing.T) {
+	cfg := DefaultFileTraceConfig()
+	cfg.Accesses = 50_000
+	tr := GenerateFileTrace(cfg)
+	if len(tr) != cfg.Accesses {
+		t.Fatalf("got %d accesses", len(tr))
+	}
+	shared, private, writes := 0, 0, 0
+	var last sim.Time
+	for _, a := range tr {
+		if a.T < last {
+			t.Fatal("trace out of order")
+		}
+		last = a.T
+		if a.Client < 0 || a.Client >= cfg.Clients {
+			t.Fatalf("bad client %d", a.Client)
+		}
+		if int(a.File) < cfg.SharedFiles {
+			shared++
+			if int(a.Block) >= cfg.SharedFileBlocks {
+				t.Fatalf("shared block %d out of range", a.Block)
+			}
+		} else {
+			private++
+			// Private file must belong to the accessing client.
+			owner := (int(a.File) - cfg.SharedFiles) / cfg.PrivateFilesPerClient
+			if owner != a.Client {
+				t.Fatalf("client %d accessed client %d's private file", a.Client, owner)
+			}
+		}
+		if a.Write {
+			writes++
+		}
+	}
+	// Access-level shared fraction exceeds the pick-level 0.6 because
+	// shared files support longer sequential runs.
+	sharedFrac := float64(shared) / float64(len(tr))
+	if sharedFrac < 0.55 || sharedFrac > 0.85 {
+		t.Fatalf("shared fraction = %.2f, want ≈0.6-0.8", sharedFrac)
+	}
+	writeFrac := float64(writes) / float64(len(tr))
+	if writeFrac < 0.08 || writeFrac > 0.16 {
+		t.Fatalf("write fraction = %.2f, want ≈0.12", writeFrac)
+	}
+}
+
+func TestFileTraceHasCrossClientSharing(t *testing.T) {
+	cfg := DefaultFileTraceConfig()
+	cfg.Accesses = 50_000
+	tr := GenerateFileTrace(cfg)
+	readers := make(map[uint32]map[int]bool)
+	for _, a := range tr {
+		if int(a.File) < cfg.SharedFiles {
+			if readers[a.File] == nil {
+				readers[a.File] = make(map[int]bool)
+			}
+			readers[a.File][a.Client] = true
+		}
+	}
+	multi := 0
+	for _, rs := range readers {
+		if len(rs) > 1 {
+			multi++
+		}
+	}
+	if multi < cfg.SharedFiles/4 {
+		t.Fatalf("only %d shared files have multiple readers", multi)
+	}
+}
+
+func TestNFSTraceMessageSizes(t *testing.T) {
+	// Paper: 95% of NFS messages are less than 200 bytes.
+	ops := GenerateNFS(DefaultNFSTraceConfig())
+	small, total := 0, 0
+	for _, op := range ops {
+		total += 2 // request and reply are both messages
+		if op.RequestBytes < 200 {
+			small++
+		}
+		if op.ReplyBytes < 200 {
+			small++
+		}
+	}
+	frac := float64(small) / float64(total)
+	if frac < 0.92 || frac > 0.99 {
+		t.Fatalf("fraction of messages under 200B = %.3f, want ≈0.95", frac)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	cfg := DefaultFileTraceConfig()
+	cfg.Accesses = 50_000
+	tr := GenerateFileTrace(cfg)
+	counts := make(map[uint32]int)
+	total := 0
+	for _, a := range tr {
+		if int(a.File) < cfg.SharedFiles {
+			counts[a.File]++
+			total++
+		}
+	}
+	// File 0 (most popular) should dominate the tail.
+	if counts[0] < total/cfg.SharedFiles {
+		t.Fatalf("no popularity skew: file0=%d mean=%d", counts[0], total/cfg.SharedFiles)
+	}
+}

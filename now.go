@@ -1,0 +1,218 @@
+// Package now is a Go reproduction of the Berkeley NOW project — "A
+// Case for NOW (Networks of Workstations)" (Anderson, Culler, Patterson;
+// IEEE Micro 15(1), 1995; abstract at PODC '95) — as a library a
+// downstream user can assemble systems from.
+//
+// The paper argues that a building's workstations, joined by a switched
+// low-overhead network, can replace the whole computing food chain. This
+// module implements each piece the paper describes, on a deterministic
+// discrete-event substrate (virtual time; real protocol code):
+//
+//   - sim: the simulation engine (virtual clock, processes, resources);
+//   - netsim: Ethernet/ATM/FDDI/Myrinet-class fabric models;
+//   - node: workstation CPU/DRAM/disk models;
+//   - am + kstack: Active Messages and the kernel-stack baselines;
+//   - glunix: the global-layer Unix (membership, idle detection,
+//     remote execution, migration, coscheduling, failure recovery);
+//   - netram: paging to idle remote memory;
+//   - coopcache: cooperative file caching (N-chance forwarding);
+//   - swraid: software RAID across workstation disks;
+//   - xfs: the serverless network file system;
+//   - sfi: software fault isolation;
+//   - gator, costmodel, apps, trace, experiments: the paper's
+//     evaluation — every table and figure regenerates (cmd/nowbench).
+//
+// This package is the front door: curated aliases and constructors so
+// user code reads now.NewEngine, now.NewGLUnix, now.NewXFS without
+// spelling internal import paths. Examples live in examples/; the
+// benchmark harness regenerating the paper's results is bench_test.go
+// and cmd/nowbench.
+package now
+
+import (
+	"github.com/nowproject/now/internal/coopcache"
+	"github.com/nowproject/now/internal/glunix"
+	"github.com/nowproject/now/internal/netram"
+	"github.com/nowproject/now/internal/netsim"
+	"github.com/nowproject/now/internal/node"
+	"github.com/nowproject/now/internal/proto/am"
+	"github.com/nowproject/now/internal/sim"
+	"github.com/nowproject/now/internal/swraid"
+	"github.com/nowproject/now/internal/xfs"
+)
+
+// ---- simulation substrate ----
+
+// Engine is the deterministic discrete-event simulator every NOW system
+// runs on.
+type Engine = sim.Engine
+
+// Proc is a simulated process.
+type Proc = sim.Proc
+
+// Time is a point in virtual time; Duration a span (nanoseconds).
+type (
+	Time     = sim.Time
+	Duration = sim.Duration
+)
+
+// Virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+)
+
+// NewEngine creates a simulator seeded for reproducibility.
+func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
+
+// ---- hardware ----
+
+// FabricConfig describes a network; NodeConfig a workstation.
+type (
+	FabricConfig = netsim.Config
+	Fabric       = netsim.Fabric
+	NodeID       = netsim.NodeID
+	NodeConfig   = node.Config
+	Node         = node.Node
+)
+
+// Fabric presets from the paper's era.
+var (
+	Ethernet10 = netsim.Ethernet10
+	ATM155     = netsim.ATM155
+	FDDI100    = netsim.FDDI100
+	Myrinet    = netsim.Myrinet
+)
+
+// NewFabric builds a network on e.
+func NewFabric(e *Engine, cfg FabricConfig) (*Fabric, error) { return netsim.New(e, cfg) }
+
+// DefaultNodeConfig is a mid-1994 workstation.
+var DefaultNodeConfig = node.DefaultConfig
+
+// NewNode builds a workstation on e.
+func NewNode(e *Engine, cfg NodeConfig) *Node { return node.New(e, cfg) }
+
+// ---- communication ----
+
+// AMConfig configures an Active Messages endpoint; AMEndpoint is one
+// node's attachment.
+type (
+	AMConfig   = am.Config
+	AMEndpoint = am.Endpoint
+	HandlerID  = am.HandlerID
+	AMsg       = am.Msg
+)
+
+// AM cost presets.
+var (
+	DefaultAMConfig = am.DefaultConfig
+	HPAMConfig      = am.HPAMConfig
+	CM5AMConfig     = am.CM5Config
+)
+
+// NewAMEndpoint attaches a node to the fabric with Active Messages.
+func NewAMEndpoint(e *Engine, n *Node, f *Fabric, cfg AMConfig) *AMEndpoint {
+	return am.NewEndpoint(e, n, f, cfg)
+}
+
+// ---- the global layer ----
+
+// GLUnix aliases.
+type (
+	GLUnixConfig  = glunix.Config
+	GLUnix        = glunix.Cluster
+	Job           = glunix.Job
+	RecruitPolicy = glunix.RecruitPolicy
+	Coscheduler   = glunix.Coscheduler
+)
+
+// Recruit policies.
+const (
+	MigrateOnReturn = glunix.MigrateOnReturn
+	RestartOnReturn = glunix.RestartOnReturn
+	IgnoreUser      = glunix.IgnoreUser
+)
+
+// DefaultGLUnixConfig sizes a building-scale installation.
+var DefaultGLUnixConfig = glunix.DefaultConfig
+
+// NewGLUnix builds the global layer over a fresh cluster of
+// workstations.
+func NewGLUnix(e *Engine, cfg GLUnixConfig) (*GLUnix, error) { return glunix.New(e, cfg) }
+
+// NewJob describes a gang-scheduled parallel program.
+var NewJob = glunix.NewJob
+
+// ---- memory, caching, storage ----
+
+// Network RAM aliases.
+type (
+	NetRAMRegistry = netram.Registry
+	NetRAMServer   = netram.Server
+	NetRAMPager    = netram.Pager
+)
+
+// Network RAM constructors.
+var (
+	NewNetRAMRegistry = netram.NewRegistry
+	NewNetRAMServer   = netram.NewServer
+	NewNetRAMPager    = netram.NewPager
+)
+
+// Cooperative caching aliases.
+type (
+	CoopCacheConfig = coopcache.Config
+	CoopCache       = coopcache.System
+	CachePolicy     = coopcache.Policy
+)
+
+// Cache policies.
+const (
+	ClientServer = coopcache.ClientServer
+	Greedy       = coopcache.Greedy
+	NChance      = coopcache.NChance
+)
+
+// Cooperative caching constructors.
+var (
+	DefaultCoopCacheConfig = coopcache.DefaultConfig
+	NewCoopCache           = coopcache.New
+)
+
+// Software RAID aliases.
+type (
+	RAIDLevel  = swraid.Level
+	RAIDConfig = swraid.Config
+	RAIDArray  = swraid.Array
+	RAIDStore  = swraid.Store
+)
+
+// RAID levels.
+const (
+	RAID0 = swraid.RAID0
+	RAID1 = swraid.RAID1
+	RAID5 = swraid.RAID5
+)
+
+// Software RAID constructors.
+var (
+	NewRAIDStore = swraid.NewStore
+	NewRAIDArray = swraid.NewArray
+)
+
+// xFS aliases.
+type (
+	XFSConfig = xfs.Config
+	XFS       = xfs.System
+	FileID    = xfs.FileID
+)
+
+// xFS constructors.
+var (
+	DefaultXFSConfig = xfs.DefaultConfig
+	NewXFS           = xfs.New
+)

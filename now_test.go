@@ -1,0 +1,95 @@
+package now_test
+
+import (
+	"errors"
+	"testing"
+
+	now "github.com/nowproject/now"
+	"github.com/nowproject/now/internal/sim"
+)
+
+// TestFacadeQuickstart assembles a small NOW entirely through the public
+// facade: a GLUnix cluster runs a parallel job; an xFS stores and
+// re-reads a block.
+func TestFacadeQuickstart(t *testing.T) {
+	e := now.NewEngine(1)
+	cfg := now.DefaultGLUnixConfig(4)
+	cfg.UserImageBytes = 1 << 20
+	cfg.ImageBytes = 1 << 20
+	g, err := now.NewGLUnix(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := now.NewJob(1, 4, 5*now.Second, now.Second)
+	e.At(0, func() { g.Master.Submit(j) })
+	if err := e.RunUntil(2 * now.Minute); err != nil && !errors.Is(err, sim.ErrStopped) {
+		t.Fatal(err)
+	}
+	e.Close()
+	if !j.Done() {
+		t.Fatal("job did not complete through the facade")
+	}
+
+	e2 := now.NewEngine(1)
+	xcfg := now.DefaultXFSConfig(6)
+	xcfg.BlockBytes = 1024
+	fsys, err := now.NewXFS(e2, xcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	e2.Spawn("client", func(p *now.Proc) {
+		if err := fsys.Client(0).Write(p, now.FileID(1), 0, data); err != nil {
+			t.Error(err)
+		}
+		got, err := fsys.Client(3).Read(p, now.FileID(1), 0)
+		if err != nil {
+			t.Error(err)
+		} else if len(got) != 1024 || got[0] != 0 || got[100] != 100 {
+			t.Error("xFS returned wrong data")
+		}
+		e2.Stop()
+	})
+	if err := e2.Run(); !errors.Is(err, sim.ErrStopped) {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeFabricAndAM(t *testing.T) {
+	e := now.NewEngine(1)
+	fab, err := now.NewFabric(e, now.Myrinet(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := now.NewAMEndpoint(e, now.NewNode(e, now.DefaultNodeConfig(0)), fab, now.DefaultAMConfig())
+	b := now.NewAMEndpoint(e, now.NewNode(e, now.DefaultNodeConfig(1)), fab, now.DefaultAMConfig())
+	b.Register(now.HandlerID(1), func(p *now.Proc, m now.AMsg) (any, int) {
+		return m.Arg.(int) + 1, 8
+	})
+	var got any
+	e.Spawn("caller", func(p *now.Proc) {
+		got, _ = a.Call(p, 1, now.HandlerID(1), 41, 8)
+		e.Stop()
+	})
+	if err := e.Run(); !errors.Is(err, sim.ErrStopped) {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFacadeConstantsWired(t *testing.T) {
+	if now.Second != sim.Second || now.RAID5.String() != "RAID-5" {
+		t.Fatal("facade constants broken")
+	}
+	if now.MigrateOnReturn.String() != "migrate-on-return" {
+		t.Fatal("policy alias broken")
+	}
+	if now.NChance.String() != "n-chance" {
+		t.Fatal("cache policy alias broken")
+	}
+}
