@@ -1,0 +1,128 @@
+// Command benchjson turns `go test -bench` output into an entry in the
+// repository's benchmark-trajectory file (BENCH_sim.json by default).
+// Each invocation parses benchmark lines from stdin and appends one
+// labelled run, so the file accumulates the perf history of the
+// scheduler hot path across PRs:
+//
+//	go test -bench . -benchmem ./internal/sim/ | benchjson -label pr1-after
+//
+// scripts/bench.sh wires this up end to end.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line. Metrics holds every reported unit
+// (ns/op, B/op, allocs/op, and any custom b.ReportMetric units).
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Run is one labelled invocation of the benchmark suite.
+type Run struct {
+	Label   string   `json:"label"`
+	Date    string   `json:"date"`
+	Results []Result `json:"results"`
+}
+
+// File is the whole trajectory document.
+type File struct {
+	Description string `json:"description"`
+	Runs        []Run  `json:"runs"`
+}
+
+const description = "Performance trajectory of the internal/sim scheduler hot path. " +
+	"Appended to by scripts/bench.sh; one entry per labelled run."
+
+// cpuSuffix strips the -GOMAXPROCS suffix go test appends to benchmark
+// names, so trajectories compare across machines.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	if err := run(os.Stdin, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	label := fs.String("label", "dev", "name for this run in the trajectory")
+	out := fs.String("out", "BENCH_sim.json", "trajectory file to append to")
+	date := fs.String("date", time.Now().Format("2006-01-02"), "date recorded for this run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	doc := File{Description: description}
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("existing %s is not valid: %w", *out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	doc.Description = description
+	doc.Runs = append(doc.Runs, Run{Label: *label, Date: *date, Results: results})
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: recorded %d benchmarks as run %q in %s\n", len(results), *label, *out)
+	return nil
+}
+
+// parse extracts benchmark result lines from go test output. A line
+// looks like:
+//
+//	BenchmarkEventThroughput-8   5740965   202.0 ns/op   48 B/op   1 allocs/op
+func parse(in io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmarking..." prose, not a result line
+		}
+		r := Result{
+			Name:    cpuSuffix.ReplaceAllString(strings.TrimPrefix(f[0], "Benchmark"), ""),
+			Iters:   iters,
+			Metrics: map[string]float64{},
+		}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value %q in %q", f[i], sc.Text())
+			}
+			r.Metrics[f[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}

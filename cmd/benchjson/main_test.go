@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/nowproject/now/internal/sim
+BenchmarkEventThroughput-8    	12180637	       100.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkProcSwitch           	79517688	        16.04 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	github.com/nowproject/now/internal/sim	4.239s
+`
+
+func TestParseAndAppend(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	for _, label := range []string{"first", "second"} {
+		err := run(strings.NewReader(sample), []string{"-label", label, "-out", out, "-date", "2026-08-05"})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc File
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 2 || doc.Runs[0].Label != "first" || doc.Runs[1].Label != "second" {
+		t.Fatalf("runs = %+v", doc.Runs)
+	}
+	rs := doc.Runs[0].Results
+	if len(rs) != 2 {
+		t.Fatalf("results = %+v", rs)
+	}
+	if rs[0].Name != "EventThroughput" || rs[0].Metrics["ns/op"] != 100.5 || rs[0].Metrics["allocs/op"] != 0 {
+		t.Fatalf("first result = %+v", rs[0])
+	}
+	if rs[1].Name != "ProcSwitch" || rs[1].Metrics["ns/op"] != 16.04 {
+		t.Fatalf("second result = %+v", rs[1])
+	}
+}
+
+func TestEmptyInputErrors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run(strings.NewReader("no benches here\n"), []string{"-out", out}); err == nil {
+		t.Fatal("expected error for input without benchmark lines")
+	}
+}

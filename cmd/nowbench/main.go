@@ -7,12 +7,14 @@
 //	nowbench              # run everything (several minutes: F3 dominates)
 //	nowbench -quick       # reduced scales, under a minute
 //	nowbench -only T2,F4  # a comma-separated subset of experiment ids
+//	nowbench -json        # machine-readable reports (scripts/bench.sh)
 //
 // Experiment ids follow DESIGN.md §3: T1 T2 T3 T4 F1 F2 F3 F4 and the
 // prose claims E5 E6 E7 E8 E9 E10.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,16 @@ import (
 	"github.com/nowproject/now/internal/coopcache"
 	"github.com/nowproject/now/internal/experiments"
 )
+
+// jsonReport is the machine-readable form of one regenerated artifact,
+// emitted by -json for tooling (scripts/bench.sh, trend dashboards).
+type jsonReport struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   string     `json:"notes,omitempty"`
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -35,6 +47,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "reduced experiment scales (finishes in well under a minute)")
 	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
 	ablations := fs.Bool("ablations", false, "also run the design-choice ablations (A1-A4)")
+	asJSON := fs.Bool("json", false, "emit reports as a JSON array instead of text tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,6 +146,28 @@ func run(args []string) error {
 		)
 	}
 
+	if *asJSON {
+		out := []jsonReport{} // non-nil so an empty selection encodes as [], not null
+		for _, x := range exps {
+			if !selected(x.id) {
+				continue
+			}
+			rep, err := x.run()
+			if err != nil {
+				return fmt.Errorf("%s: %w", x.id, err)
+			}
+			out = append(out, jsonReport{
+				ID:      rep.ID,
+				Title:   rep.Title,
+				Headers: rep.Table.Headers(),
+				Rows:    rep.Table.Rows(),
+				Notes:   rep.Notes,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
 	fmt.Println("Regenerating the evaluation of 'A Case for NOW' (IEEE Micro, Feb 1995)")
 	fmt.Println(strings.Repeat("=", 72))
 	for _, x := range exps {

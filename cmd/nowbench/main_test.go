@@ -1,6 +1,37 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"testing"
+)
+
+func TestRunJSONOutput(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-json", "-quick", "-only", "T1,E5"})
+	w.Close()
+	os.Stdout = old
+	raw, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var reports []jsonReport
+	if err := json.Unmarshal(raw, &reports); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(reports) != 2 || reports[0].ID != "T1" || reports[1].ID != "E5" {
+		t.Fatalf("reports = %+v", reports)
+	}
+	if len(reports[0].Rows) == 0 || len(reports[0].Headers) == 0 {
+		t.Fatalf("T1 report empty: %+v", reports[0])
+	}
+}
 
 func TestRunSubsetQuick(t *testing.T) {
 	if err := run([]string{"-quick", "-only", "T1,T4,E5"}); err != nil {

@@ -35,6 +35,72 @@ func BenchmarkProcSwitch(b *testing.B) {
 	}
 }
 
+// BenchmarkYieldStorm measures the same-time run queue: a pack of procs
+// yielding at one instant, the engine's O(1) fast path.
+func BenchmarkYieldStorm(b *testing.B) {
+	e := NewEngine(1)
+	const procs = 8
+	n := b.N / procs
+	for w := 0; w < procs; w++ {
+		e.Spawn("yielder", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				p.Yield()
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTimerCancelChurn measures schedule-then-cancel traffic — the
+// retransmission-timer pattern every protocol layer generates. With the
+// event pool this settles to zero allocations.
+func BenchmarkTimerCancelChurn(b *testing.B) {
+	e := NewEngine(1)
+	defer e.Close()
+	for i := 0; i < b.N; i++ {
+		tm := e.After(Millisecond, func() {})
+		tm.Stop()
+		if i%1024 == 0 {
+			// Drain the cancelled husks so the queue stays small.
+			if err := e.RunUntil(e.Now() + 2*Millisecond); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMailboxPingPong measures a blocking request/reply cycle
+// between two procs — the RPC skeleton under every protocol model. Each
+// iteration is two Put/Get pairs and two direct goroutine handoffs.
+func BenchmarkMailboxPingPong(b *testing.B) {
+	e := NewEngine(1)
+	req := NewMailbox[int](e, "req")
+	rsp := NewMailbox[int](e, "rsp")
+	n := b.N
+	e.Spawn("server", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			v := req.Get(p)
+			rsp.Put(v + 1)
+		}
+	})
+	e.Spawn("client", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			req.Put(i)
+			if got := rsp.Get(p); got != i+1 {
+				b.Errorf("got %d, want %d", got, i+1)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkResourceContention measures the contended-resource path.
 func BenchmarkResourceContention(b *testing.B) {
 	e := NewEngine(1)

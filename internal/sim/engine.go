@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // ErrStopped is returned by Run when the simulation was halted by an
@@ -15,18 +16,32 @@ var ErrStopped = errors.New("sim: engine stopped")
 // Engine is not safe for concurrent use from multiple OS threads; all
 // interaction happens either before Run or from within simulated
 // processes and event callbacks, which the engine serialises.
+//
+// Scheduling is split across two structures: events due exactly now go
+// to a FIFO ring (runq) drained in O(1), and future events go to a
+// 4-ary min-heap keyed by (at, seq). Fired events are recycled through
+// a free list, so steady-state scheduling does not allocate. The
+// dispatch loop itself is not pinned to one goroutine: it migrates with
+// a driver token between the RunUntil caller and process goroutines
+// (see Proc), which is what keeps process switches down to at most one
+// channel handoff.
 type Engine struct {
 	now     Time
+	limit   Time
 	heap    eventHeap
+	runq    eventRing
+	free    []*event
 	seq     uint64
 	rng     *rand.Rand
 	parked  chan struct{}
+	done    chan struct{}
 	procs   map[*Proc]struct{}
 	nextPID int
 	stopped bool
 	failure error
 	running bool
 	closed  bool
+	closing bool
 }
 
 // NewEngine returns an engine with its clock at zero and a deterministic
@@ -36,6 +51,7 @@ func NewEngine(seed int64) *Engine {
 	return &Engine{
 		rng:    rand.New(rand.NewSource(seed)),
 		parked: make(chan struct{}),
+		done:   make(chan struct{}),
 		procs:  make(map[*Proc]struct{}),
 	}
 }
@@ -48,17 +64,62 @@ func (e *Engine) Now() Time { return e.now }
 // fully determines a run.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at virtual time t and returns a cancellable
-// Timer. Scheduling in the past is a caller bug; the engine clamps it to
-// "now" to keep the clock monotonic.
-func (e *Engine) At(t Time, fn func()) Timer {
+// schedule is the single entry point onto the event queues. Exactly one
+// of fn/p is set: fn for callback events, p for direct process wakes.
+// Scheduling in the past is a caller bug; the engine clamps it to "now"
+// to keep the clock monotonic.
+func (e *Engine) schedule(t Time, fn func(), p *Proc) *event {
+	if e.closed {
+		// Deferred process cleanup running inside Close may legitimately
+		// fire signals or release resources; those wakes target processes
+		// that are themselves being torn down, so they are dropped. Any
+		// scheduling after Close has returned is a caller bug: the event
+		// would sit in the queue forever, so fail loudly instead.
+		if e.closing {
+			return nil
+		}
+		panic("sim: event scheduled on closed engine (after Close/Run returned)")
+	}
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.proc = t, e.seq, fn, p
+	ev.cancelled, ev.timeout = false, false
 	e.seq++
-	e.heap.push(ev)
-	return Timer{ev: ev}
+	if t == e.now {
+		e.runq.push(ev)
+	} else {
+		e.heap.push(ev)
+	}
+	return ev
+}
+
+// recycle returns a popped event to the free list. Bumping gen first
+// invalidates every Timer handle that still points at the struct.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.proc = nil
+	ev.index = posPopped
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at virtual time t and returns a cancellable
+// Timer.
+func (e *Engine) At(t Time, fn func()) Timer {
+	ev := e.schedule(t, fn, nil)
+	if ev == nil {
+		return Timer{}
+	}
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -67,6 +128,30 @@ func (e *Engine) After(d Duration, fn func()) Timer {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
+}
+
+// wakeProcAt schedules a direct wake of p at time t: the fast path under
+// Sleep/Yield and every grant in Mailbox/Resource/Signal. It allocates
+// nothing in steady state — no closure, and the event comes from the
+// pool.
+func (e *Engine) wakeProcAt(t Time, p *Proc) {
+	e.schedule(t, nil, p)
+}
+
+// procTimeoutAfter schedules a wake of p carrying the timeout flag d
+// from now, returning the Timer that a grant path cancels. The woken
+// process removes itself from whatever wait queue it is on — the waiter
+// record is on its stack, so no closure is needed.
+func (e *Engine) procTimeoutAfter(d Duration, p *Proc) Timer {
+	if d < 0 {
+		d = 0
+	}
+	ev := e.schedule(e.now+d, nil, p)
+	if ev == nil {
+		return Timer{}
+	}
+	ev.timeout = true
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // Stop halts the simulation after the currently executing event
@@ -80,6 +165,76 @@ func (e *Engine) Fail(err error) {
 		e.failure = err
 	}
 	e.stopped = true
+}
+
+// dispatchResult says how a dispatch loop invocation ended.
+type dispatchResult int
+
+const (
+	// dispatchWoken: the next event was self's own wake; self keeps the
+	// driver token and continues running. No goroutine switch happened.
+	dispatchWoken dispatchResult = iota
+	// dispatchHandoff: the driver token was handed to another process;
+	// the caller must park (or may exit).
+	dispatchHandoff
+	// dispatchDone: the run terminated (queue drained, horizon reached,
+	// or Stop/Fail); whoever holds this result must signal e.done if it
+	// is not the RunUntil caller itself.
+	dispatchDone
+)
+
+// dispatch runs the event loop on behalf of the current goroutine until
+// the run terminates, the token moves to another process, or — when
+// self is non-nil — self's own wake event fires. It is the core of the
+// engine; every goroutine holding the driver token executes it.
+func (e *Engine) dispatch(self *Proc) (wake, dispatchResult) {
+	for !e.stopped {
+		var ev *event
+		if e.runq.n > 0 && e.now <= e.limit {
+			// Same-time events dispatch FIFO, but an event scheduled
+			// earlier (lower seq) for exactly this time may still sit in
+			// the heap; (at, seq) order decides.
+			ev = e.runq.peek()
+			if len(e.heap.items) > 0 {
+				if h := e.heap.items[0]; h.at == e.now && h.seq < ev.seq {
+					ev = e.heap.pop()
+				} else {
+					e.runq.pop()
+				}
+			} else {
+				e.runq.pop()
+			}
+		} else if len(e.heap.items) > 0 {
+			h := e.heap.items[0]
+			if h.at > e.limit {
+				if e.limit > e.now && e.limit < MaxTime {
+					e.now = e.limit
+				}
+				return wake{}, dispatchDone
+			}
+			ev = e.heap.pop()
+			e.now = ev.at
+		} else {
+			return wake{}, dispatchDone
+		}
+		if ev.cancelled {
+			e.recycle(ev)
+			continue
+		}
+		if q := ev.proc; q != nil {
+			tok := wake{timeout: ev.timeout, drive: true}
+			e.recycle(ev)
+			if q == self {
+				return tok, dispatchWoken
+			}
+			q.resume <- tok
+			return wake{}, dispatchHandoff
+		}
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
+	}
+	return wake{}, dispatchDone
 }
 
 // Run executes events until the queue drains or Stop/Fail is called,
@@ -106,19 +261,11 @@ func (e *Engine) RunUntil(limit Time) error {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for !e.stopped && e.heap.len() > 0 {
-		if e.heap.peek().at > limit {
-			if limit > e.now && limit < MaxTime {
-				e.now = limit
-			}
-			break
-		}
-		ev := e.heap.pop()
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.at
-		ev.fn()
+	e.limit = limit
+	if _, res := e.dispatch(nil); res == dispatchHandoff {
+		// The driver token is loose in the process graph; wait for
+		// whichever goroutine reaches the end of the run to report in.
+		<-e.done
 	}
 	if e.failure != nil {
 		return e.failure
@@ -131,28 +278,31 @@ func (e *Engine) RunUntil(limit Time) error {
 
 // Close terminates every still-parked process so that no goroutines
 // outlive the simulation. It is idempotent. After Close the engine can
-// no longer run.
+// no longer run, and scheduling new work panics.
 func (e *Engine) Close() {
 	if e.closed {
 		return
 	}
 	e.closed = true
-	for len(e.procs) > 0 {
-		var victim *Proc
-		// Kill in ascending pid order: teardown order is observable via
-		// process cleanup hooks, and determinism everywhere is cheap.
-		for p := range e.procs {
-			if victim == nil || p.id < victim.id {
-				victim = p
-			}
-		}
-		victim.kill()
+	e.closing = true
+	defer func() { e.closing = false }()
+	// Kill in ascending pid order: teardown order is observable via
+	// process cleanup hooks, and determinism everywhere is cheap. One
+	// sorted snapshot replaces the old per-victim min scan (which was
+	// quadratic in the number of parked processes).
+	victims := make([]*Proc, 0, len(e.procs))
+	for p := range e.procs {
+		victims = append(victims, p)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	for _, p := range victims {
+		p.kill()
 	}
 }
 
 // Pending reports the number of events still queued, including cancelled
 // ones not yet popped. Intended for tests and diagnostics.
-func (e *Engine) Pending() int { return e.heap.len() }
+func (e *Engine) Pending() int { return e.heap.len() + e.runq.len() }
 
 // invariant records a failure when cond is false; used by primitives to
 // catch API misuse (double release, negative acquire) loudly.

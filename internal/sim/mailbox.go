@@ -14,10 +14,9 @@ type Mailbox[T any] struct {
 }
 
 type mboxWaiter[T any] struct {
-	p       *Proc
-	val     T
-	timer   Timer
-	granted bool
+	p     *Proc
+	val   T
+	timer Timer
 }
 
 // NewMailbox creates an empty mailbox on e.
@@ -31,11 +30,9 @@ func (m *Mailbox[T]) Put(v T) {
 	if len(m.waiters) > 0 {
 		w := m.waiters[0]
 		m.waiters = m.waiters[1:]
-		w.granted = true
 		w.timer.Stop()
 		w.val = v
-		wp := w.p
-		m.eng.After(0, func() { wp.wakeNow(wake{}) })
+		m.eng.wakeProcAt(m.eng.now, w.p)
 		return
 	}
 	m.items = append(m.items, v)
@@ -64,16 +61,14 @@ func (m *Mailbox[T]) getDeadline(p *Proc, d Duration) (v T, ok bool) {
 	w := &mboxWaiter[T]{p: p}
 	m.waiters = append(m.waiters, w)
 	if d >= 0 {
-		w.timer = m.eng.After(d, func() {
-			if w.granted {
-				return
-			}
-			m.removeWaiter(w)
-			p.wakeNow(wake{timeout: true})
-		})
+		w.timer = m.eng.procTimeoutAfter(d, p)
 	}
 	tok := p.park()
 	if tok.timeout {
+		// The deadline fired before Put reached us: leave the queue.
+		// Nothing ran between the timeout wake and here, so the waiter
+		// is still in the list.
+		m.removeWaiter(w)
 		return v, false
 	}
 	return w.val, true

@@ -11,6 +11,8 @@ type killSentinel struct{}
 type wake struct {
 	kill    bool // engine teardown: unwind the goroutine
 	timeout bool // the wait's deadline fired before the condition
+	drive   bool // the driver token rides along: the receiver runs the
+	// dispatch loop at its next park instead of handing control back
 }
 
 // Proc is a simulated process: a goroutine whose blocking operations
@@ -18,12 +20,19 @@ type wake struct {
 // the engine resumes it at a later virtual time. At most one process
 // executes at any moment, so process code needs no locking around
 // simulation state.
+//
+// Control transfers between goroutines by migrating a single "driver
+// token": whichever goroutine holds it runs the engine's dispatch loop
+// when its process parks. Waking another process is therefore one direct
+// channel handoff, and a process woken by its own next event (the common
+// Sleep/Yield case) resumes without any goroutine switch at all.
 type Proc struct {
-	eng    *Engine
-	id     int
-	name   string
-	resume chan wake
-	done   bool
+	eng     *Engine
+	id      int
+	name    string
+	resume  chan wake
+	done    bool
+	driving bool // this goroutine holds the driver token
 }
 
 // Spawn starts body as a new simulated process at the current virtual
@@ -31,14 +40,7 @@ type Proc struct {
 // may block on simulation primitives and must not block on real OS
 // resources. The returned Proc is also passed to body.
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
-	p := &Proc{eng: e, id: e.nextPID, name: name, resume: make(chan wake)}
-	e.nextPID++
-	e.At(e.now, func() {
-		e.procs[p] = struct{}{}
-		go p.run(body)
-		<-e.parked
-	})
-	return p
+	return e.SpawnAt(e.now, name, body)
 }
 
 // SpawnAt is Spawn with an explicit start time, used by workload
@@ -48,6 +50,9 @@ func (e *Engine) SpawnAt(t Time, name string, body func(p *Proc)) *Proc {
 	e.nextPID++
 	e.At(t, func() {
 		e.procs[p] = struct{}{}
+		// Synchronous handoff: the new goroutine runs body immediately
+		// (without the driver token) and hands control back here at its
+		// first park or exit.
 		go p.run(body)
 		<-e.parked
 	})
@@ -65,36 +70,56 @@ func (p *Proc) run(body func(p *Proc)) {
 				p.eng.Fail(fmt.Errorf("sim: process %q panicked: %v", p.name, r))
 			}
 		}
-		p.eng.parked <- struct{}{}
+		if p.driving {
+			// This goroutine holds the driver token: keep the simulation
+			// moving until the token can be handed to another process or
+			// the run terminates.
+			if _, res := p.eng.dispatch(nil); res == dispatchDone {
+				p.eng.done <- struct{}{}
+			}
+		} else {
+			// Woken synchronously (spawn start or teardown): hand control
+			// back to the waiting caller.
+			p.eng.parked <- struct{}{}
+		}
 	}()
 	body(p)
 }
 
 // park blocks the process until a wake token arrives, yielding control
-// back to the engine's event loop.
+// back to the simulation. A driving process dispatches further events
+// inline; a synchronously woken one hands control back to its waker.
 func (p *Proc) park() wake {
-	p.eng.parked <- struct{}{}
-	w := <-p.resume
+	var w wake
+	if p.driving {
+		var res dispatchResult
+		w, res = p.eng.dispatch(p)
+		if res != dispatchWoken {
+			if res == dispatchDone {
+				p.eng.done <- struct{}{}
+			}
+			w = <-p.resume
+		}
+	} else {
+		p.eng.parked <- struct{}{}
+		w = <-p.resume
+	}
+	p.driving = w.drive
 	if w.kill {
 		panic(killSentinel{})
 	}
 	return w
 }
 
-// wakeNow resumes p immediately; callable only from inside an engine
-// event callback (or another process's turn, which is the same thing).
-func (p *Proc) wakeNow(w wake) {
-	p.resume <- w
-	<-p.eng.parked
-}
-
-// kill tears the process down during Engine.Close.
+// kill tears the process down during Engine.Close. The wake carries no
+// driver token, so the unwinding goroutine hands control straight back.
 func (p *Proc) kill() {
 	if p.done {
 		delete(p.eng.procs, p)
 		return
 	}
-	p.wakeNow(wake{kill: true})
+	p.resume <- wake{kill: true}
+	<-p.eng.parked
 }
 
 // Engine returns the engine this process runs on.
@@ -114,24 +139,24 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.After(d, func() { p.wakeNow(wake{}) })
+	p.eng.wakeProcAt(p.eng.now+d, p)
 	p.park()
 }
 
 // SleepUntil parks the process until virtual time t (no-op if t has
 // passed).
 func (p *Proc) SleepUntil(t Time) {
-	if t <= p.eng.Now() {
+	if t <= p.eng.now {
 		return
 	}
-	p.eng.At(t, func() { p.wakeNow(wake{}) })
+	p.eng.wakeProcAt(t, p)
 	p.park()
 }
 
 // Yield reschedules the process at the current time behind already
 // queued events, letting same-time work interleave fairly.
 func (p *Proc) Yield() {
-	p.eng.After(0, func() { p.wakeNow(wake{}) })
+	p.eng.wakeProcAt(p.eng.now, p)
 	p.park()
 }
 

@@ -21,8 +21,6 @@ type resWaiter struct {
 	p     *Proc
 	n     int
 	timer Timer
-	// granted distinguishes a grant racing with a timeout at equal time.
-	granted bool
 }
 
 // NewResource creates a resource with the given capacity (units > 0).
@@ -74,16 +72,16 @@ func (r *Resource) acquireDeadline(p *Proc, n int, d Duration) bool {
 	w := &resWaiter{p: p, n: n}
 	r.queue = append(r.queue, w)
 	if d >= 0 {
-		w.timer = r.eng.After(d, func() {
-			if w.granted {
-				return
-			}
-			r.remove(w)
-			p.wakeNow(wake{timeout: true})
-		})
+		w.timer = r.eng.procTimeoutAfter(d, p)
 	}
 	tok := p.park()
-	return !tok.timeout
+	if tok.timeout {
+		// Deadline fired before a grant: dequeue ourselves (a grant would
+		// have cancelled the timer, so we are still queued).
+		r.remove(w)
+		return false
+	}
+	return true
 }
 
 // Release returns n units and grants queued waiters in FIFO order.
@@ -101,13 +99,11 @@ func (r *Resource) grant() {
 			return
 		}
 		r.queue = r.queue[1:]
-		w.granted = true
 		w.timer.Stop()
 		r.account()
 		r.inUse += w.n
 		r.acquires++
-		wp := w.p
-		r.eng.After(0, func() { wp.wakeNow(wake{}) })
+		r.eng.wakeProcAt(r.eng.now, w.p)
 	}
 }
 

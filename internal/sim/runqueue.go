@@ -1,0 +1,48 @@
+package sim
+
+// eventRing is a growable power-of-two ring buffer holding the engine's
+// same-time run queue: events scheduled at exactly the current virtual
+// time (Yield, zero-delay After, wakes granted by Put/Release/Fire).
+// Because the clock cannot move while such events are pending and seq
+// numbers are assigned monotonically at scheduling, FIFO push/pop order
+// *is* (at, seq) heap order — so these events bypass the heap entirely
+// and cost O(1) to schedule and dispatch.
+type eventRing struct {
+	buf  []*event
+	head int
+	n    int
+}
+
+func (r *eventRing) len() int { return r.n }
+
+func (r *eventRing) push(ev *event) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = ev
+	r.n++
+	ev.index = posRunq
+}
+
+func (r *eventRing) pop() *event {
+	ev := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	ev.index = posPopped
+	return ev
+}
+
+func (r *eventRing) peek() *event { return r.buf[r.head] }
+
+func (r *eventRing) grow() {
+	size := 2 * len(r.buf)
+	if size == 0 {
+		size = 64
+	}
+	buf := make([]*event, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = buf, 0
+}

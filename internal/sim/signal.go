@@ -11,9 +11,8 @@ type Signal struct {
 }
 
 type sigWaiter struct {
-	p       *Proc
-	timer   Timer
-	granted bool
+	p     *Proc
+	timer Timer
 }
 
 // NewSignal creates a signal on e.
@@ -36,16 +35,16 @@ func (s *Signal) waitDeadline(p *Proc, d Duration) bool {
 	w := &sigWaiter{p: p}
 	s.waiters = append(s.waiters, w)
 	if d >= 0 {
-		w.timer = s.eng.After(d, func() {
-			if w.granted {
-				return
-			}
-			s.removeWaiter(w)
-			p.wakeNow(wake{timeout: true})
-		})
+		w.timer = s.eng.procTimeoutAfter(d, p)
 	}
 	tok := p.park()
-	return !tok.timeout
+	if tok.timeout {
+		// Deadline fired before Fire/Broadcast reached us; a release
+		// would have cancelled the timer, so we are still in the list.
+		s.removeWaiter(w)
+		return false
+	}
+	return true
 }
 
 // Fire releases the longest-waiting process, if any.
@@ -68,10 +67,8 @@ func (s *Signal) Broadcast() {
 }
 
 func (s *Signal) release(w *sigWaiter) {
-	w.granted = true
 	w.timer.Stop()
-	wp := w.p
-	s.eng.After(0, func() { wp.wakeNow(wake{}) })
+	s.eng.wakeProcAt(s.eng.now, w.p)
 }
 
 // Waiting returns the number of parked waiters.

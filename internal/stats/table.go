@@ -48,6 +48,16 @@ func (t *Table) AddRowf(cells ...any) {
 	t.AddRow(strCells...)
 }
 
+// Title returns the table title.
+func (t *Table) Title() string { return t.title }
+
+// Headers returns the column headers.
+func (t *Table) Headers() []string { return t.headers }
+
+// Rows returns the rendered rows; cells align with Headers. The slices
+// are the table's own storage — callers must not mutate them.
+func (t *Table) Rows() [][]string { return t.rows }
+
 // String renders the table.
 func (t *Table) String() string {
 	widths := make([]int, len(t.headers))

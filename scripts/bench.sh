@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — run the scheduler microbenchmarks and record the
+# result as one labelled run in BENCH_sim.json (the tier-1 perf
+# trajectory; see cmd/benchjson).
+#
+# Usage:
+#   scripts/bench.sh [label]        # label defaults to the git short rev
+#   BENCHTIME=3s scripts/bench.sh   # longer per-bench runtime
+#   FULL=1 scripts/bench.sh         # also run the paper-experiment
+#                                   # benches at the repo root (slow)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo dev)}"
+benchtime="${BENCHTIME:-1s}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+sim_benches='BenchmarkEventThroughput$|BenchmarkProcSwitch$|BenchmarkResourceContention$|BenchmarkYieldStorm$|BenchmarkTimerCancelChurn$|BenchmarkMailboxPingPong$'
+go test -run '^$' -bench "$sim_benches" -benchmem -benchtime "$benchtime" \
+    ./internal/sim/ | tee "$raw"
+
+if [ "${FULL:-0}" = "1" ]; then
+    # One iteration of each experiment bench: regenerates every table
+    # and figure once and reports the headline paper metrics.
+    go test -run '^$' -bench . -benchtime 1x . | tee -a "$raw"
+fi
+
+go run ./cmd/benchjson -label "$label" -out BENCH_sim.json < "$raw"

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# scripts/verify.sh — the checks every PR must pass. Superset of the
+# tier-1 gate (build + test): adds go vet across the module and a race
+# run of internal/sim, whose driver-token goroutine handoff is exactly
+# the kind of code the race detector exists for.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test ./..."
+go test ./...
+echo "== go test -race ./internal/sim/..."
+go test -race -count=1 ./internal/sim/...
+echo "verify: all checks passed"
