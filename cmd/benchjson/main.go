@@ -20,6 +20,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/nowproject/now/internal/obs"
 )
 
 // Result is one benchmark line. Metrics holds every reported unit
@@ -82,12 +84,9 @@ func run(in io.Reader, args []string) error {
 	}
 	doc.Description = description
 	doc.Runs = append(doc.Runs, Run{Label: *label, Date: *date, Results: results})
-	buf, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	// Shared stable encoder (indent + trailing newline) so this file,
+	// nowbench -json and the -metrics exports all share one JSON shape.
+	if err := obs.WriteFileStable(*out, doc); err != nil {
 		return err
 	}
 	fmt.Printf("benchjson: recorded %d benchmarks as run %q in %s\n", len(results), *label, *out)

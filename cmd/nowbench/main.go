@@ -14,15 +14,16 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"github.com/nowproject/now/internal/coopcache"
 	"github.com/nowproject/now/internal/experiments"
+	"github.com/nowproject/now/internal/obs"
 )
 
 // jsonReport is the machine-readable form of one regenerated artifact,
@@ -48,6 +49,7 @@ func run(args []string) error {
 	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
 	ablations := fs.Bool("ablations", false, "also run the design-choice ablations (A1-A4)")
 	asJSON := fs.Bool("json", false, "emit reports as a JSON array instead of text tables")
+	metricsPath := fs.String("metrics", "", "write the instrumented experiments' metrics registries to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -146,6 +148,33 @@ func run(args []string) error {
 		)
 	}
 
+	// Instrumented experiments carry metrics registries on their
+	// reports; -metrics snapshots each into one stable-ordered file.
+	collected := map[string][]obs.Metric{}
+	collect := func(rep experiments.Report) {
+		if *metricsPath == "" {
+			return
+		}
+		keys := make([]string, 0, len(rep.Obs))
+		for k := range rep.Obs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			collected[rep.ID+"/"+k] = rep.Obs[k].Snapshot()
+		}
+	}
+	writeMetrics := func() error {
+		if *metricsPath == "" {
+			return nil
+		}
+		doc := struct {
+			Format      string                  `json:"format"`
+			Experiments map[string][]obs.Metric `json:"experiments"`
+		}{Format: "now-metrics-set/1", Experiments: collected}
+		return obs.WriteFileStable(*metricsPath, doc)
+	}
+
 	if *asJSON {
 		out := []jsonReport{} // non-nil so an empty selection encodes as [], not null
 		for _, x := range exps {
@@ -156,6 +185,7 @@ func run(args []string) error {
 			if err != nil {
 				return fmt.Errorf("%s: %w", x.id, err)
 			}
+			collect(rep)
 			out = append(out, jsonReport{
 				ID:      rep.ID,
 				Title:   rep.Title,
@@ -164,9 +194,12 @@ func run(args []string) error {
 				Notes:   rep.Notes,
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(out)
+		if err := writeMetrics(); err != nil {
+			return err
+		}
+		// The same stable encoder the metrics exporters use, so tooling
+		// sees one JSON shape discipline everywhere.
+		return obs.WriteStable(os.Stdout, out)
 	}
 	fmt.Println("Regenerating the evaluation of 'A Case for NOW' (IEEE Micro, Feb 1995)")
 	fmt.Println(strings.Repeat("=", 72))
@@ -179,9 +212,10 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", x.id, err)
 		}
+		collect(rep)
 		fmt.Println()
 		fmt.Print(rep.String())
 		fmt.Printf("(%s regenerated in %v)\n", x.id, time.Since(start).Round(time.Millisecond))
 	}
-	return nil
+	return writeMetrics()
 }

@@ -8,6 +8,12 @@
 //
 //	nowsim -ws 64 -hours 12 -policy migrate
 //	nowsim -ws 32 -hours 6 -policy restart -seed 7
+//	nowsim -ws 64 -hours 12 -metrics run.json -trace spans.json
+//
+// The -metrics, -metrics-csv and -trace flags attach the observability
+// layer (internal/obs) and export it after the run. All values are
+// keyed to virtual time, so two runs with the same flags produce
+// byte-identical files.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"sort"
 
 	"github.com/nowproject/now/internal/glunix"
+	"github.com/nowproject/now/internal/obs"
 	"github.com/nowproject/now/internal/sim"
 	"github.com/nowproject/now/internal/trace"
 )
@@ -36,6 +43,9 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed (runs are deterministic per seed)")
 	policyName := fs.String("policy", "migrate", "user-return policy: migrate, restart, ignore")
 	interarrival := fs.Duration("interarrival", 0, "mean parallel job interarrival (0 = trace default)")
+	metricsPath := fs.String("metrics", "", "write metrics JSON (deterministic, byte-stable) to this file")
+	metricsCSV := fs.String("metrics-csv", "", "write metrics CSV to this file")
+	tracePath := fs.String("trace", "", "write span trace JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,12 +84,22 @@ func run(args []string) error {
 	cfg.HeartbeatInterval = 5 * sim.Minute
 	cfg.Seed = *seed
 
+	var reg *obs.Registry
+	if *metricsPath != "" || *metricsCSV != "" || *tracePath != "" {
+		reg = obs.NewRegistry()
+		cfg.Obs = reg
+	}
+
 	fmt.Printf("NOW: %d workstations, %d virtual hours, policy %v, %d parallel jobs\n",
 		*ws, *hours, policy, len(jobs))
 	e := sim.NewEngine(*seed)
+	e.Observe(reg)
 	res, err := glunix.RunMixed(e, cfg, activity, jobs, length+12*sim.Hour)
 	e.Close()
 	if err != nil && !errors.Is(err, sim.ErrStopped) {
+		return err
+	}
+	if err := exportObs(reg, *metricsPath, *metricsCSV, *tracePath); err != nil {
 		return err
 	}
 
@@ -105,4 +125,33 @@ func run(args []string) error {
 		fmt.Printf("  job %-4d %v\n", id, res.Responses[id])
 	}
 	return nil
+}
+
+// exportObs writes the requested observability files. A nil registry
+// (no export flags) writes nothing.
+func exportObs(reg *obs.Registry, metricsPath, csvPath, tracePath string) error {
+	if reg == nil {
+		return nil
+	}
+	write := func(path string, fn func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(metricsPath, func(f *os.File) error { return reg.WriteMetricsJSON(f) }); err != nil {
+		return err
+	}
+	if err := write(csvPath, func(f *os.File) error { return reg.WriteMetricsCSV(f) }); err != nil {
+		return err
+	}
+	return write(tracePath, func(f *os.File) error { return reg.WriteTraceJSON(f) })
 }

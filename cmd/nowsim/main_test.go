@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestTinyScenario(t *testing.T) {
 	if err := run([]string{"-ws", "8", "-hours", "1", "-policy", "migrate"}); err != nil {
@@ -17,5 +22,40 @@ func TestRestartPolicy(t *testing.T) {
 func TestBadPolicy(t *testing.T) {
 	if err := run([]string{"-policy", "nonsense"}); err == nil {
 		t.Fatal("bad policy accepted")
+	}
+}
+
+// TestMetricsGoldenDeterminism is the observability layer's end-to-end
+// determinism gate: the same seeded scenario, run twice through the
+// full CLI path, must export byte-identical metrics and trace JSON.
+func TestMetricsGoldenDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(n string) ([]byte, []byte) {
+		m := filepath.Join(dir, "m"+n+".json")
+		tr := filepath.Join(dir, "t"+n+".json")
+		if err := run([]string{"-ws", "8", "-hours", "1", "-seed", "5",
+			"-metrics", m, "-trace", tr}); err != nil {
+			t.Fatal(err)
+		}
+		mb, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := os.ReadFile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mb, tb
+	}
+	m1, t1 := runOnce("1")
+	m2, t2 := runOnce("2")
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("same seed produced different metrics JSON")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Fatal("same seed produced different trace JSON")
+	}
+	if len(m1) == 0 || !bytes.Contains(m1, []byte(`"now-metrics/1"`)) {
+		t.Fatalf("metrics file malformed:\n%.200s", m1)
 	}
 }

@@ -157,6 +157,7 @@ type System struct {
 	clients []*client
 	st      Stats
 	resp    []sim.Duration // per-read response times
+	m       *systemMetrics // nil unless Instrument attached a registry
 }
 
 type server struct {

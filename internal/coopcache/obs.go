@@ -1,0 +1,57 @@
+package coopcache
+
+import "github.com/nowproject/now/internal/obs"
+
+// Instrument attaches metrics to the system. Call once per registry,
+// after New. A nil registry is a no-op. The Stats counters are mirrored
+// into gauges at snapshot time (ResetStats at a warm-up boundary resets
+// what the mirror reads, matching the reported tables); each read's
+// service time is additionally recorded into a latency histogram.
+//
+// System metrics (names per docs/OBSERVABILITY.md):
+//
+//	coop.reads                application reads (sampled)
+//	coop.writes               application writes (sampled)
+//	coop.hits.local           reads hit in the local cache (sampled)
+//	coop.hits.remote          reads served from a peer's cache (sampled)
+//	coop.hits.server          reads served from server memory (sampled)
+//	coop.reads.disk           reads that went to disk (sampled)
+//	coop.recirculations       N-chance singlet recirculations (sampled)
+//	coop.evictions.noticed    eviction notices sent to the server (sampled)
+//	coop.read.latency.ns      per-read service time histogram
+func (sys *System) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	sys.m = &systemMetrics{
+		readNs: r.Histogram("coop.read.latency.ns", obs.DurationBuckets),
+	}
+	mirror := []struct {
+		name string
+		get  func(*Stats) int64
+	}{
+		{"coop.reads", func(s *Stats) int64 { return s.Reads }},
+		{"coop.writes", func(s *Stats) int64 { return s.Writes }},
+		{"coop.hits.local", func(s *Stats) int64 { return s.LocalHits }},
+		{"coop.hits.remote", func(s *Stats) int64 { return s.RemoteHits }},
+		{"coop.hits.server", func(s *Stats) int64 { return s.ServerMemHits }},
+		{"coop.reads.disk", func(s *Stats) int64 { return s.DiskReads }},
+		{"coop.recirculations", func(s *Stats) int64 { return s.Recirculations }},
+		{"coop.evictions.noticed", func(s *Stats) int64 { return s.EvictionNotices }},
+	}
+	gs := make([]*obs.Gauge, len(mirror))
+	for i, m := range mirror {
+		gs[i] = r.Gauge(m.name)
+	}
+	r.OnSample(func() {
+		for i, m := range mirror {
+			gs[i].Set(m.get(&sys.st))
+		}
+	})
+}
+
+// systemMetrics holds the system's histogram handles; nil on an
+// uninstrumented system.
+type systemMetrics struct {
+	readNs *obs.Histogram // coop.read.latency.ns
+}

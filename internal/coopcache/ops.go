@@ -189,7 +189,12 @@ func (c *client) insert(p *sim.Proc, blk BlockID, recirc int, maybeSinglet bool)
 func (c *client) Read(p *sim.Proc, blk BlockID) {
 	start := p.Now()
 	c.sys.st.Reads++
-	defer func() { c.sys.resp = append(c.sys.resp, p.Now()-start) }()
+	defer func() {
+		c.sys.resp = append(c.sys.resp, p.Now()-start)
+		if m := c.sys.m; m != nil {
+			m.readNs.Observe(int64(p.Now() - start))
+		}
+	}()
 	if _, ok := c.cache.Get(blk); ok {
 		c.sys.st.LocalHits++
 		c.ep.Node().CPU.Compute(p, c.sys.cfg.LocalCopy)

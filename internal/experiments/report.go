@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"github.com/nowproject/now/internal/obs"
 	"github.com/nowproject/now/internal/stats"
 )
 
@@ -23,6 +24,12 @@ type Report struct {
 	Table *stats.Table
 	// Notes records calibration or substitution remarks.
 	Notes string
+	// Obs holds the observability registries of the instrumented runs
+	// behind this report, keyed by sub-run name (e.g. a policy or a
+	// problem size). Experiments that instrument their runs pull the
+	// table's measured values from these registries; cmd/nowbench
+	// -metrics exports them. Nil for uninstrumented experiments.
+	Obs map[string]*obs.Registry
 }
 
 // String renders the report.

@@ -2,6 +2,7 @@ package glunix
 
 import (
 	"github.com/nowproject/now/internal/node"
+	"github.com/nowproject/now/internal/obs"
 	"github.com/nowproject/now/internal/sim"
 )
 
@@ -23,6 +24,8 @@ type Coscheduler struct {
 	slot    int
 	running bool
 	stopped bool
+	obs     *obs.Registry // nil unless Instrument attached a registry
+	slots   *obs.Counter  // glunix.cosched.slots
 }
 
 // NewCoscheduler creates a gang scheduler over the given CPUs with the
@@ -44,6 +47,19 @@ func (cs *Coscheduler) SetJobs(classes []string) {
 	cs.apply()
 }
 
+// Instrument attaches observability: a glunix.cosched.slots counter and
+// one glunix.cosched.slot span per occupied rotation slot (annotated
+// with the owning job class). Call before Start; a nil registry is a
+// no-op. Slot spans are per-quantum, so a long coscheduled run records
+// many of them — traces are opt-in for exactly this reason.
+func (cs *Coscheduler) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	cs.obs = r
+	cs.slots = r.Counter("glunix.cosched.slots")
+}
+
 // Start begins slot rotation.
 func (cs *Coscheduler) Start() {
 	if cs.running {
@@ -53,7 +69,14 @@ func (cs *Coscheduler) Start() {
 	cs.eng.Spawn("glunix/cosched", func(p *sim.Proc) {
 		for !cs.stopped {
 			cs.apply()
+			var sp obs.SpanID
+			if cs.obs != nil && len(cs.jobs) > 0 {
+				cs.slots.Inc()
+				sp = cs.obs.StartSpan("glunix.cosched.slot", -1)
+				cs.obs.Annotate(sp, cs.jobs[cs.slot])
+			}
 			p.Sleep(cs.quantum)
+			cs.obs.EndSpan(sp)
 			if len(cs.jobs) > 0 {
 				cs.slot = (cs.slot + 1) % len(cs.jobs)
 			}

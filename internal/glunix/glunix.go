@@ -17,6 +17,11 @@
 //
 // The layer is built from a Master (the global resource manager) and one
 // Daemon per workstation, communicating over Active Messages.
+//
+// Setting Config.Obs (or calling Cluster.Instrument) attaches an
+// internal/obs registry: workstation-state and job-progress gauges,
+// migration and user-delay latency histograms, and virtual-time spans
+// for placements, migrations and checkpoints (docs/OBSERVABILITY.md).
 package glunix
 
 import (
@@ -24,6 +29,7 @@ import (
 
 	"github.com/nowproject/now/internal/netsim"
 	"github.com/nowproject/now/internal/node"
+	"github.com/nowproject/now/internal/obs"
 	"github.com/nowproject/now/internal/proto/am"
 	"github.com/nowproject/now/internal/sim"
 )
@@ -110,6 +116,11 @@ type Config struct {
 	ChunkBytes int
 	// Seed drives placement tie-breaking randomness.
 	Seed int64
+	// Obs, when non-nil, attaches observability collectors to the
+	// cluster and its fabric at construction (see Cluster.Instrument and
+	// netsim.Fabric.Instrument). The caller typically also passes the
+	// same registry to Engine.Observe.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns a building-scale GLUnix configuration on a
@@ -144,6 +155,9 @@ type Cluster struct {
 	EPs     []*am.Endpoint // system endpoints (port 0, system class)
 	Master  *Master
 	Daemons []*Daemon // index 1..Workstations (index 0 nil)
+
+	obs *obs.Registry   // nil unless Instrument attached a registry
+	cm  *clusterMetrics // histogram handles, nil with obs
 }
 
 // New builds the cluster on e.
@@ -193,6 +207,10 @@ func New(e *sim.Engine, cfg Config) (*Cluster, error) {
 	c.Daemons = make([]*Daemon, total)
 	for i := 1; i < total; i++ {
 		c.Daemons[i] = newDaemon(c, i)
+	}
+	if cfg.Obs != nil {
+		fab.Instrument(cfg.Obs)
+		c.Instrument(cfg.Obs)
 	}
 	return c, nil
 }

@@ -207,6 +207,11 @@ func (g *GProc) run(p *sim.Proc) {
 // checkpoint streams the process image to the buddy node and records the
 // restart point.
 func (g *GProc) checkpoint(p *sim.Proc) {
+	sp := g.c.obs.StartSpan("glunix.checkpoint", g.ws)
+	if sp != 0 {
+		g.c.obs.Annotate(sp, fmt.Sprintf("job %d rank %d", g.job.ID, g.rank))
+	}
+	defer g.c.obs.EndSpan(sp)
 	buddy := g.c.Master.pickBuddy(g.ws)
 	if err := g.c.transferBulk(p, g.ws, buddy, g.c.Cfg.ImageBytes); err != nil {
 		return

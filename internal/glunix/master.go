@@ -172,6 +172,11 @@ func (m *Master) placeLoop(p *sim.Proc) {
 
 // startJob recruits the given workstations and launches the gang.
 func (m *Master) startJob(p *sim.Proc, j *Job, nodes []int) {
+	sp := m.c.obs.StartSpan("glunix.schedule", -1)
+	if sp != 0 {
+		m.c.obs.Annotate(sp, fmt.Sprintf("job %d × %d procs", j.ID, j.NProcs))
+	}
+	defer m.c.obs.EndSpan(sp)
 	if j.Started == 0 {
 		j.Started = m.c.Eng.Now()
 	}
@@ -349,25 +354,39 @@ func (m *Master) onUserState(p *sim.Proc, msg am.Msg) (any, int) {
 		}
 	}
 	m.st.UserDelays.Add((m.c.Eng.Now() - returnedAt).Seconds())
+	if cm := m.c.cm; cm != nil {
+		cm.userDelayNs.Observe(int64(m.c.Eng.Now() - returnedAt))
+	}
 	migrated.Wait(p)
 	return nil, 0
 }
 
 // migrate moves a paused guest to target and resumes it.
 func (m *Master) migrate(p *sim.Proc, g *GProc, target int) {
+	began := m.c.Eng.Now()
+	sp := m.c.obs.StartSpan("glunix.migrate", g.ws)
+	if sp != 0 {
+		m.c.obs.Annotate(sp, fmt.Sprintf("job %d rank %d → ws %d", g.job.ID, g.rank, target))
+	}
+	defer m.c.obs.EndSpan(sp)
 	// Recruit the target first (saves its user image if needed).
 	buddy := m.pickBuddy(target)
 	if _, err := m.ep.Call(p, netsim.NodeID(target), hExec, execArgs{ws: target, buddy: buddy}, 48); err != nil {
+		m.c.obs.Annotate(sp, "target exec failed; requeued")
 		m.pendingEvict = append(m.pendingEvict, g)
 		return
 	}
 	m.ws[target].buddy = buddy
 	if err := m.c.transferBulk(p, g.ws, target, m.c.Cfg.ImageBytes); err != nil {
 		// Source died mid-migration: restart from checkpoint.
+		m.c.obs.Annotate(sp, "source lost mid-transfer; restarting job")
 		m.restartJob(g.job)
 		return
 	}
 	m.st.Migrations++
+	if cm := m.c.cm; cm != nil {
+		cm.migrateNs.Observe(int64(m.c.Eng.Now() - began))
+	}
 	g.ws = target
 	m.ws[target].guest = g
 	g.unpause()

@@ -1,0 +1,98 @@
+package glunix
+
+import "github.com/nowproject/now/internal/obs"
+
+// clusterMetrics holds the global layer's histogram handles; nil on an
+// uninstrumented cluster.
+type clusterMetrics struct {
+	migrateNs   *obs.Histogram // glunix.migrate.latency.ns
+	userDelayNs *obs.Histogram // glunix.user.delay.ns
+}
+
+// Instrument attaches metrics and span tracing to the cluster. Call it
+// once, after New, on the registry the engine observes. A nil registry
+// is a no-op. Master counters are mirrored into gauges at snapshot time
+// (they already exist in MasterStats; sampling avoids double-counting
+// at every increment site), while migration and user-delay latencies
+// are recorded as histograms at the point they complete.
+//
+// Cluster metrics (names per docs/OBSERVABILITY.md):
+//
+//	glunix.jobs.submitted        jobs handed to the master (sampled)
+//	glunix.jobs.completed        jobs finished (sampled)
+//	glunix.migrations            guest migrations completed (sampled)
+//	glunix.evictions             user returns to recruited machines (sampled)
+//	glunix.evictions.stalled     evictions that waited for an idle target (sampled)
+//	glunix.restarts              job restarts from checkpoint (sampled)
+//	glunix.nodes.down            workstations declared down (sampled)
+//	glunix.user.disturbed        IgnoreUser policy: user shared machine (sampled)
+//	glunix.image.saves           user images parked on buddies (sampled)
+//	glunix.image.restores        user images restored on return (sampled)
+//	glunix.checkpoints           guest checkpoint transfers (sampled)
+//	glunix.ws.idle               recruitable workstations now (sampled)
+//	glunix.ws.recruited          workstations hosting a guest (sampled)
+//	glunix.ws.userbusy           workstations with an active user (sampled)
+//	glunix.ws.down               workstations currently down (sampled)
+//	glunix.migrate.latency.ns    wall time of each completed migration
+//	glunix.user.delay.ns         time each returning user waited
+//
+// Spans: glunix.schedule (one per gang placement, node -1),
+// glunix.migrate (per migration, node = source workstation),
+// glunix.checkpoint (per guest checkpoint, node = workstation).
+func (c *Cluster) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	c.obs = r
+	c.cm = &clusterMetrics{
+		migrateNs:   r.Histogram("glunix.migrate.latency.ns", obs.DurationBuckets),
+		userDelayNs: r.Histogram("glunix.user.delay.ns", obs.DurationBuckets),
+	}
+	mirror := []struct {
+		name string
+		get  func(*MasterStats) int64
+	}{
+		{"glunix.jobs.submitted", func(s *MasterStats) int64 { return s.JobsSubmitted }},
+		{"glunix.jobs.completed", func(s *MasterStats) int64 { return s.JobsCompleted }},
+		{"glunix.migrations", func(s *MasterStats) int64 { return s.Migrations }},
+		{"glunix.evictions", func(s *MasterStats) int64 { return s.Evictions }},
+		{"glunix.evictions.stalled", func(s *MasterStats) int64 { return s.StalledEvicts }},
+		{"glunix.restarts", func(s *MasterStats) int64 { return s.Restarts }},
+		{"glunix.nodes.down", func(s *MasterStats) int64 { return s.NodesDown }},
+		{"glunix.user.disturbed", func(s *MasterStats) int64 { return s.UserDisturbed }},
+		{"glunix.image.saves", func(s *MasterStats) int64 { return s.ImageSaves }},
+		{"glunix.image.restores", func(s *MasterStats) int64 { return s.ImageRestores }},
+		{"glunix.checkpoints", func(s *MasterStats) int64 { return s.CheckpointOps }},
+	}
+	gs := make([]*obs.Gauge, len(mirror))
+	for i, m := range mirror {
+		gs[i] = r.Gauge(m.name)
+	}
+	idle := r.Gauge("glunix.ws.idle")
+	recruited := r.Gauge("glunix.ws.recruited")
+	userBusy := r.Gauge("glunix.ws.userbusy")
+	down := r.Gauge("glunix.ws.down")
+	r.OnSample(func() {
+		st := c.Master.Stats()
+		for i, m := range mirror {
+			gs[i].Set(m.get(&st))
+		}
+		var nRec, nBusy, nDown int64
+		for i := 1; i < len(c.Master.ws); i++ {
+			s := &c.Master.ws[i]
+			if s.guest != nil {
+				nRec++
+			}
+			if s.userBusy {
+				nBusy++
+			}
+			if !s.up {
+				nDown++
+			}
+		}
+		idle.Set(int64(c.Master.AvailableCount()))
+		recruited.Set(nRec)
+		userBusy.Set(nBusy)
+		down.Set(nDown)
+	})
+}

@@ -200,6 +200,7 @@ type Pager struct {
 	loc  map[node.PageID]netsim.NodeID // where evicted pages live remotely
 	onDi map[node.PageID]bool          // pages whose latest copy is on disk
 	st   Stats
+	m    *pagerMetrics // nil unless Instrument attached a registry
 }
 
 // NewPager creates a pager for ep's node using the registry and installs
@@ -241,10 +242,14 @@ func (pg *Pager) Touch(p *sim.Proc, page node.PageID, write bool) bool {
 		return false
 	}
 	pg.st.Faults++
+	began := p.Now()
 	if evicted {
 		pg.evict(p, victim, victimDirty)
 	}
 	pg.fetch(p, page)
+	if m := pg.m; m != nil {
+		m.faultNs.Observe(int64(p.Now() - began))
+	}
 	return true
 }
 

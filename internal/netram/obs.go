@@ -1,0 +1,60 @@
+package netram
+
+import "github.com/nowproject/now/internal/obs"
+
+// pagerMetrics holds the pager's histogram handle; nil on an
+// uninstrumented pager.
+type pagerMetrics struct {
+	faultNs *obs.Histogram // netram.fault.latency.ns
+}
+
+// Instrument attaches metrics to the pager. Call once per registry
+// (metric names are fixed; instrument the pager under study, not every
+// node's). A nil registry is a no-op. The Stats counters are mirrored
+// into gauges at snapshot time; fault service latency is recorded as a
+// histogram in Touch.
+//
+// Pager metrics (names per docs/OBSERVABILITY.md):
+//
+//	netram.faults             page faults taken (sampled)
+//	netram.fills.zero         demand-zero fills (sampled)
+//	netram.hits.remote        faults served from network RAM (sampled)
+//	netram.reads.disk         faults served from local disk (sampled)
+//	netram.stores.remote      evictions pushed to network RAM (sampled)
+//	netram.writes.disk        evictions written to local disk (sampled)
+//	netram.pages.returned     pages pushed back by reclaiming servers (sampled)
+//	netram.pages.lost         remote pages lost to server crashes (sampled)
+//	netram.frames.free        free donated frames network-wide (sampled)
+//	netram.fault.latency.ns   fault service time histogram
+func (pg *Pager) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	pg.m = &pagerMetrics{
+		faultNs: r.Histogram("netram.fault.latency.ns", obs.DurationBuckets),
+	}
+	mirror := []struct {
+		name string
+		get  func(*Stats) int64
+	}{
+		{"netram.faults", func(s *Stats) int64 { return s.Faults }},
+		{"netram.fills.zero", func(s *Stats) int64 { return s.ZeroFills }},
+		{"netram.hits.remote", func(s *Stats) int64 { return s.RemoteHits }},
+		{"netram.reads.disk", func(s *Stats) int64 { return s.DiskReads }},
+		{"netram.stores.remote", func(s *Stats) int64 { return s.RemoteStores }},
+		{"netram.writes.disk", func(s *Stats) int64 { return s.DiskWrites }},
+		{"netram.pages.returned", func(s *Stats) int64 { return s.Returned }},
+		{"netram.pages.lost", func(s *Stats) int64 { return s.LostPages }},
+	}
+	gs := make([]*obs.Gauge, len(mirror))
+	for i, m := range mirror {
+		gs[i] = r.Gauge(m.name)
+	}
+	free := r.Gauge("netram.frames.free")
+	r.OnSample(func() {
+		for i, m := range mirror {
+			gs[i].Set(m.get(&pg.st))
+		}
+		free.Set(int64(pg.reg.TotalFree()))
+	})
+}

@@ -19,6 +19,10 @@
 // fully received at tx_end + latency. Receiver-link contention is
 // modelled analytically with a per-destination busy-until horizon, so
 // incast (the Column benchmark's failure mode) queues where it should.
+//
+// Fabric.Instrument attaches an internal/obs registry: packet/byte/drop
+// counters, a per-message delivery-latency histogram, and sampled
+// medium or per-link utilisation gauges (docs/OBSERVABILITY.md).
 package netsim
 
 import (
@@ -90,6 +94,7 @@ type Fabric struct {
 	rxFree   []sim.Time      // switched mode: per-node receive-link horizon
 	handlers map[portKey]Delivery
 	stats    Stats
+	m        *fabricMetrics // nil unless Instrument attached a registry
 }
 
 // portKey addresses one endpoint: a node and a port on it.
@@ -162,6 +167,9 @@ func (f *Fabric) Send(p *sim.Proc, pkt *Packet) {
 	pkt.Sent = f.eng.Now()
 	if pkt.Src == pkt.Dst {
 		f.stats.SelfSends++
+		if m := f.m; m != nil {
+			m.selfSends.Inc()
+		}
 		f.deliverAt(f.eng.Now(), pkt)
 		return
 	}
@@ -189,8 +197,15 @@ func (f *Fabric) Send(p *sim.Proc, pkt *Packet) {
 func (f *Fabric) arrive(at sim.Time, pkt *Packet) {
 	f.stats.Packets++
 	f.stats.Bytes += int64(pkt.Bytes)
+	if m := f.m; m != nil {
+		m.packets.Inc()
+		m.bytes.Add(int64(pkt.Bytes))
+	}
 	if f.cfg.LossProb > 0 && f.eng.Rand().Float64() < f.cfg.LossProb {
 		f.stats.Drops++
+		if m := f.m; m != nil {
+			m.drops.Inc()
+		}
 		return
 	}
 	f.deliverAt(at, pkt)
@@ -198,6 +213,9 @@ func (f *Fabric) arrive(at sim.Time, pkt *Packet) {
 
 func (f *Fabric) deliverAt(at sim.Time, pkt *Packet) {
 	f.eng.At(at, func() {
+		if m := f.m; m != nil {
+			m.latency.Observe(int64(f.eng.Now() - pkt.Sent))
+		}
 		if h := f.handlers[portKey{node: pkt.Dst, port: pkt.Port}]; h != nil {
 			h(pkt)
 		}

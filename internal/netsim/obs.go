@@ -1,0 +1,60 @@
+package netsim
+
+import "github.com/nowproject/now/internal/obs"
+
+// fabricMetrics holds the fabric's collector handles; nil on an
+// unobserved fabric, so the send/arrive paths pay a single branch.
+type fabricMetrics struct {
+	packets   *obs.Counter   // net.packets
+	bytes     *obs.Counter   // net.bytes
+	drops     *obs.Counter   // net.drops
+	selfSends *obs.Counter   // net.sends.self
+	latency   *obs.Histogram // net.am.latency.ns
+}
+
+// Instrument attaches metrics collectors to the fabric. Call once per
+// registry (metric names are fixed, so a second fabric on the same
+// registry would collide). A nil registry is a no-op.
+//
+// Fabric metrics (names per docs/OBSERVABILITY.md):
+//
+//	net.packets              packets that finished transmission
+//	net.bytes                wire bytes carried (headers included)
+//	net.drops                packets lost to injected loss
+//	net.sends.self           sends where src == dst (wire bypassed)
+//	net.am.latency.ns        send-to-delivery latency histogram
+//	net.medium.util.ppm      shared-medium utilization, ppm (sampled)
+//	net.links.tx.util.ppm.mean  mean tx-link utilization, ppm (sampled)
+//	net.links.tx.util.ppm.max   max tx-link utilization, ppm (sampled)
+func (f *Fabric) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	f.m = &fabricMetrics{
+		packets:   r.Counter("net.packets"),
+		bytes:     r.Counter("net.bytes"),
+		drops:     r.Counter("net.drops"),
+		selfSends: r.Counter("net.sends.self"),
+		latency:   r.Histogram("net.am.latency.ns", obs.DurationBuckets),
+	}
+	if f.medium != nil {
+		util := r.Gauge("net.medium.util.ppm")
+		r.OnSample(func() { util.Set(obs.Ratio(f.medium.Utilization())) })
+	}
+	if len(f.txLinks) > 0 {
+		mean := r.Gauge("net.links.tx.util.ppm.mean")
+		max := r.Gauge("net.links.tx.util.ppm.max")
+		r.OnSample(func() {
+			var sum, top int64
+			for _, l := range f.txLinks {
+				u := obs.Ratio(l.Utilization())
+				sum += u
+				if u > top {
+					top = u
+				}
+			}
+			mean.Set(sum / int64(len(f.txLinks)))
+			max.Set(top)
+		})
+	}
+}

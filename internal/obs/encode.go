@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// MarshalStable is the repository's one stable-ordering JSON encoder:
+// two-space indented, map keys sorted (encoding/json's guarantee),
+// trailing newline. Every machine-readable artifact
+// — nowsim/nowbench -metrics and -trace, nowbench -json, benchjson's
+// trajectory file — goes through here, so diffs between runs are
+// meaningful line diffs.
+func MarshalStable(v any) ([]byte, error) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// WriteStable encodes v with MarshalStable onto w.
+func WriteStable(w io.Writer, v any) error {
+	buf, err := MarshalStable(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// WriteFileStable encodes v with MarshalStable into path.
+func WriteFileStable(path string, v any) error {
+	buf, err := MarshalStable(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

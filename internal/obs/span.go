@@ -1,0 +1,87 @@
+package obs
+
+// Span tracing keyed to virtual time. A span is one named interval of
+// simulated activity — a migration, an ownership transfer, a RAID
+// rebuild — attributed to a node, optionally linked to a parent span,
+// and annotated with timestamped notes. Span records accumulate in the
+// registry in start order; because virtual time is deterministic, the
+// exported trace of a seeded run is byte-stable.
+//
+// Spans are for the control-plane events a human debugs with (tens to
+// thousands per run), not for per-event engine activity — counters and
+// histograms cover the hot path.
+
+// SpanID names one span in its registry. Zero is the invalid id: every
+// operation on it (and every start on a nil registry, which returns it)
+// is a no-op, so call sites need no enabled-check.
+type SpanID int32
+
+// Note is one timestamped annotation on a span.
+type Note struct {
+	T    Time   `json:"t"`
+	Text string `json:"text"`
+}
+
+// Span is the exported record. End is 0 while the span is open (or was
+// never finished — visible in the trace, deliberately).
+type Span struct {
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Node   int    `json:"node"`
+	Start  Time   `json:"start"`
+	End    Time   `json:"end"`
+	Notes  []Note `json:"notes,omitempty"`
+}
+
+// StartSpan opens a span named name attributed to node (use -1 for
+// cluster-wide activity). It returns 0 on a nil registry.
+func (r *Registry) StartSpan(name string, node int) SpanID {
+	return r.StartChild(name, node, 0)
+}
+
+// StartChild opens a span linked to a parent span (0 for none).
+func (r *Registry) StartChild(name string, node int, parent SpanID) SpanID {
+	if r == nil {
+		return 0
+	}
+	id := SpanID(len(r.spans) + 1)
+	r.spans = append(r.spans, Span{
+		ID:     id,
+		Parent: parent,
+		Name:   name,
+		Node:   node,
+		Start:  r.now(),
+	})
+	return id
+}
+
+// Annotate attaches a timestamped note to an open (or closed) span.
+func (r *Registry) Annotate(id SpanID, text string) {
+	if r == nil || id <= 0 || int(id) > len(r.spans) {
+		return
+	}
+	s := &r.spans[id-1]
+	s.Notes = append(s.Notes, Note{T: r.now(), Text: text})
+}
+
+// EndSpan closes a span at the current virtual time. Ending twice keeps
+// the first end time.
+func (r *Registry) EndSpan(id SpanID) {
+	if r == nil || id <= 0 || int(id) > len(r.spans) {
+		return
+	}
+	s := &r.spans[id-1]
+	if s.End == 0 {
+		s.End = r.now()
+	}
+}
+
+// Spans returns the recorded spans in start order. The slice is the
+// registry's own storage — callers must not mutate it.
+func (r *Registry) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}

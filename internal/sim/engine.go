@@ -42,6 +42,10 @@ type Engine struct {
 	running bool
 	closed  bool
 	closing bool
+	// stat lives at the tail so the 64-byte tally block does not push
+	// the loop-read control fields (stopped, limit, queues) onto extra
+	// cache lines; the hot fields above keep their pre-obs layout.
+	stat engineStats // always-on tallies; Observe mirrors them out
 }
 
 // NewEngine returns an engine with its clock at zero and a deterministic
@@ -96,8 +100,14 @@ func (e *Engine) schedule(t Time, fn func(), p *Proc) *event {
 	e.seq++
 	if t == e.now {
 		e.runq.push(ev)
+		if n := int64(e.runq.n); n > e.stat.runqMax {
+			e.stat.runqMax = n
+		}
 	} else {
 		e.heap.push(ev)
+		if n := int64(len(e.heap.items)); n > e.stat.heapMax {
+			e.stat.heapMax = n
+		}
 	}
 	return ev
 }
@@ -218,6 +228,7 @@ func (e *Engine) dispatch(self *Proc) (wake, dispatchResult) {
 			return wake{}, dispatchDone
 		}
 		if ev.cancelled {
+			e.stat.cancelled++
 			e.recycle(ev)
 			continue
 		}
@@ -227,11 +238,13 @@ func (e *Engine) dispatch(self *Proc) (wake, dispatchResult) {
 			if q == self {
 				return tok, dispatchWoken
 			}
+			e.stat.switches++
 			q.resume <- tok
 			return wake{}, dispatchHandoff
 		}
 		fn := ev.fn
 		e.recycle(ev)
+		e.stat.callbacks++
 		fn()
 	}
 	return wake{}, dispatchDone

@@ -1,0 +1,99 @@
+package sim
+
+import "github.com/nowproject/now/internal/obs"
+
+// engineStats is the engine's always-on tally block: plain int64 fields
+// bumped unconditionally, with every site off the critical self-wake
+// path (switch and callback dispatches are dominated by the channel
+// handoff / callback body; cancellation reaps are rare). The remaining
+// engine metrics are not tallied at all — they are derived at mirror
+// time from state the engine maintains anyway:
+//
+//	scheduled  = seq        (one sequence number per schedule() call)
+//	spawns     = nextPID    (one pid per SpawnAt)
+//	dispatched = seq - cancelled - Pending()   (pops classify every event)
+//	self-wakes = dispatched - switches - callbacks
+//
+// The derivations are exact, not approximations: events leave the
+// queues only through the dispatch loop's pop, which counts each one as
+// cancelled, a callback, a switch, or a self-wake. This is what keeps
+// the unobserved ProcSwitch benchmark inside the <5 % budget the
+// scheduler benchmarks enforce — the hot self-wake path carries no
+// tally work beyond the queue-depth high-water checks in schedule().
+// Observe mirrors the tallies into a registry at Snapshot time via an
+// OnSample delta hook; without a registry they are simply never read.
+type engineStats struct {
+	cancelled int64 // sim.events.cancelled (reaped at pop)
+	callbacks int64 // sim.events.callbacks
+	switches  int64 // sim.proc.switches (driver-token handoffs)
+	runqMax   int64 // sim.runq.depth.max
+	heapMax   int64 // sim.heap.depth.max
+}
+
+// Observe attaches a metrics registry to the engine. Call it once, on a
+// fresh engine, before Run: it registers the engine's collectors and
+// installs the virtual clock that stamps every span recorded anywhere
+// in the simulation. A nil registry leaves the engine unobserved (the
+// default; the tally fields still tick but nothing reads them).
+//
+// Engine metrics (names per docs/OBSERVABILITY.md):
+//
+//	sim.events.scheduled     events placed on the queues
+//	sim.events.dispatched    non-cancelled events executed
+//	sim.events.cancelled     cancelled events reaped at pop
+//	sim.events.callbacks     dispatched events that ran a callback fn
+//	sim.proc.wakes.self      process wakes that kept the driver token
+//	sim.proc.switches        process wakes that handed the token over
+//	sim.proc.spawns          processes spawned
+//	sim.runq.depth.max       same-time FIFO high-water mark
+//	sim.heap.depth.max       future-event heap high-water mark
+//	sim.procs.live           processes alive at snapshot (sampled)
+//	sim.events.pending       events queued at snapshot (sampled)
+//	sim.time.now.ns          virtual time at snapshot (sampled)
+//
+// The counters are mirrored (or derived — see engineStats) from engine
+// state when the registry snapshots, so they are exact totals as of the
+// snapshot, not a sampling approximation.
+func (e *Engine) Observe(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.SetClock(func() obs.Time { return int64(e.now) })
+	scheduled := r.Counter("sim.events.scheduled")
+	dispatched := r.Counter("sim.events.dispatched")
+	cancelled := r.Counter("sim.events.cancelled")
+	callbacks := r.Counter("sim.events.callbacks")
+	selfWakes := r.Counter("sim.proc.wakes.self")
+	switches := r.Counter("sim.proc.switches")
+	spawns := r.Counter("sim.proc.spawns")
+	runqMax := r.Gauge("sim.runq.depth.max")
+	heapMax := r.Gauge("sim.heap.depth.max")
+	live := r.Gauge("sim.procs.live")
+	pending := r.Gauge("sim.events.pending")
+	now := r.Gauge("sim.time.now.ns")
+	var last struct {
+		scheduled, dispatched, cancelled, callbacks, selfWakes, switches, spawns int64
+	}
+	r.OnSample(func() {
+		s := e.stat
+		queued := int64(e.Pending())
+		sched := int64(e.seq)
+		disp := sched - s.cancelled - queued
+		self := disp - s.switches - s.callbacks
+		spwn := int64(e.nextPID)
+		scheduled.Add(sched - last.scheduled)
+		dispatched.Add(disp - last.dispatched)
+		cancelled.Add(s.cancelled - last.cancelled)
+		callbacks.Add(s.callbacks - last.callbacks)
+		selfWakes.Add(self - last.selfWakes)
+		switches.Add(s.switches - last.switches)
+		spawns.Add(spwn - last.spawns)
+		last.scheduled, last.dispatched, last.cancelled = sched, disp, s.cancelled
+		last.callbacks, last.selfWakes, last.switches, last.spawns = s.callbacks, self, s.switches, spwn
+		runqMax.Set(s.runqMax)
+		heapMax.Set(s.heapMax)
+		live.Set(int64(len(e.procs)))
+		pending.Set(queued)
+		now.Set(int64(e.now))
+	})
+}

@@ -12,6 +12,12 @@
 // being parked on a primitive (Sleep, Resource, Mailbox, Signal). The
 // engine resumes parked processes at the virtual times their wake events
 // fire.
+//
+// Engine.Observe attaches an internal/obs metrics registry: event and
+// process-switch counters, queue-depth high-water marks, and sampled
+// engine state, all keyed to the virtual clock. With no registry
+// attached (the default), the hot path is untouched — see
+// docs/OBSERVABILITY.md.
 package sim
 
 import (

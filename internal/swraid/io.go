@@ -332,6 +332,11 @@ func (a *Array) writeStripe(p *sim.Proc, stripe int64, logicals []int64, chunks 
 // (the array does not track a high-water mark; callers know their
 // extent).
 func (a *Array) Rebuild(p *sim.Proc, failed, replacement netsim.NodeID, stripes int64) error {
+	sp := a.obs.StartSpan("raid.rebuild", int(replacement))
+	if sp != 0 {
+		a.obs.Annotate(sp, fmt.Sprintf("store %d → %d, %d stripes", failed, replacement, stripes))
+	}
+	defer a.obs.EndSpan(sp)
 	if a.cfg.Level == RAID0 {
 		return fmt.Errorf("%w: RAID-0 cannot rebuild", ErrDataLost)
 	}

@@ -1,0 +1,32 @@
+package swraid
+
+import "github.com/nowproject/now/internal/obs"
+
+// Instrument attaches metrics and span tracing to the array. Call once
+// per registry, on the array under study (xFS builds one array per
+// client over the same stores — instrument one). A nil registry is a
+// no-op. Counters are mirrored into gauges at snapshot time; each
+// Rebuild records a raid.rebuild span (node = replacement store).
+//
+// Array metrics (names per docs/OBSERVABILITY.md):
+//
+//	raid.reads             logical array reads (sampled)
+//	raid.writes            logical array writes (sampled)
+//	raid.reads.degraded    reads served through parity/mirror (sampled)
+//	raid.stores.dead       stores currently marked failed (sampled)
+func (a *Array) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	a.obs = r
+	reads := r.Gauge("raid.reads")
+	writes := r.Gauge("raid.writes")
+	degraded := r.Gauge("raid.reads.degraded")
+	dead := r.Gauge("raid.stores.dead")
+	r.OnSample(func() {
+		reads.Set(a.reads)
+		writes.Set(a.writes)
+		degraded.Set(a.degraded)
+		dead.Set(int64(len(a.dead)))
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"github.com/nowproject/now/internal/netsim"
+	"github.com/nowproject/now/internal/obs"
 	"github.com/nowproject/now/internal/proto/am"
 	"github.com/nowproject/now/internal/sim"
 )
@@ -127,6 +128,8 @@ type Array struct {
 	dead map[netsim.NodeID]bool
 
 	reads, writes, degraded int64
+
+	obs *obs.Registry // nil unless Instrument attached a registry
 }
 
 // NewArray creates a client view. RAID5 needs at least 3 stores, RAID1

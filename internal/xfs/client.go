@@ -132,6 +132,10 @@ func (m *manager) onWriteTok(p *sim.Proc, msg am.Msg) (any, int) {
 	rep := tokReply{fetchFrom: -1, addr: bm.addr, written: bm.written}
 	ep := m.sys.eps[m.node]
 	if bm.owner >= 0 && bm.owner != args.node {
+		sp := m.sys.obs.StartSpan("xfs.ownership.transfer", m.node)
+		if sp != 0 {
+			m.sys.obs.Annotate(sp, fmt.Sprintf("owner %d → %d", bm.owner, args.node))
+		}
 		// Migrate ownership: the old owner yields its (possibly dirty)
 		// data, which rides back through the grant.
 		if reply, err := ep.Call(p, netsim.NodeID(bm.owner), hYield,
@@ -144,6 +148,7 @@ func (m *manager) onWriteTok(p *sim.Proc, msg am.Msg) (any, int) {
 		}
 		m.sys.stats.OwnerYields++
 		bm.owner = -1
+		m.sys.obs.EndSpan(sp)
 	}
 	// Invalidate all readers (deterministic order).
 	for r := 0; r < m.sys.cfg.Nodes; r++ {

@@ -1,0 +1,50 @@
+package xfs
+
+import "github.com/nowproject/now/internal/obs"
+
+// Instrument attaches metrics and span tracing to the system. Call once
+// per registry, after New. A nil registry is a no-op. The Stats
+// counters are mirrored into gauges at snapshot time; ownership
+// transfers additionally record an xfs.ownership.transfer span (node =
+// the manager's hosting node, annotated with old → new owner).
+//
+// System metrics (names per docs/OBSERVABILITY.md):
+//
+//	xfs.reads                 client reads (sampled)
+//	xfs.writes                client writes (sampled)
+//	xfs.hits.local            reads served from the local cache (sampled)
+//	xfs.transfers.cache       reads served from a peer's cache (sampled)
+//	xfs.reads.storage         reads that went to the RAID array (sampled)
+//	xfs.writes.storage        log writes to the RAID array (sampled)
+//	xfs.invalidations         reader copies invalidated on write (sampled)
+//	xfs.owner.yields          ownership migrations between writers (sampled)
+//	xfs.failovers             manager failovers to the standby (sampled)
+func (sys *System) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	sys.obs = r
+	mirror := []struct {
+		name string
+		get  func(*Stats) int64
+	}{
+		{"xfs.reads", func(s *Stats) int64 { return s.Reads }},
+		{"xfs.writes", func(s *Stats) int64 { return s.Writes }},
+		{"xfs.hits.local", func(s *Stats) int64 { return s.LocalHits }},
+		{"xfs.transfers.cache", func(s *Stats) int64 { return s.CacheTransfers }},
+		{"xfs.reads.storage", func(s *Stats) int64 { return s.StorageReads }},
+		{"xfs.writes.storage", func(s *Stats) int64 { return s.StorageWrites }},
+		{"xfs.invalidations", func(s *Stats) int64 { return s.Invalidations }},
+		{"xfs.owner.yields", func(s *Stats) int64 { return s.OwnerYields }},
+		{"xfs.failovers", func(s *Stats) int64 { return s.Failovers }},
+	}
+	gs := make([]*obs.Gauge, len(mirror))
+	for i, m := range mirror {
+		gs[i] = r.Gauge(m.name)
+	}
+	r.OnSample(func() {
+		for i, m := range mirror {
+			gs[i].Set(m.get(&sys.stats))
+		}
+	})
+}

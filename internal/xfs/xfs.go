@@ -22,6 +22,10 @@
 // Block contents are real bytes end to end (through the RAID's XOR
 // parity), so the tests verify coherence and recovery by value, not by
 // counters alone.
+//
+// System.Instrument attaches an internal/obs registry: operation and
+// coherence-traffic gauges plus an xfs.ownership.transfer span per
+// write-ownership migration (docs/OBSERVABILITY.md).
 package xfs
 
 import (
@@ -30,6 +34,7 @@ import (
 	"github.com/nowproject/now/internal/lru"
 	"github.com/nowproject/now/internal/netsim"
 	"github.com/nowproject/now/internal/node"
+	"github.com/nowproject/now/internal/obs"
 	"github.com/nowproject/now/internal/proto/am"
 	"github.com/nowproject/now/internal/sim"
 	"github.com/nowproject/now/internal/swraid"
@@ -140,6 +145,7 @@ type System struct {
 	replicas []map[BlockKey]*blockMeta
 
 	stats Stats
+	obs   *obs.Registry // nil unless Instrument attached a registry
 }
 
 // Stats aggregates system activity.

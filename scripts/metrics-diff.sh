@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# scripts/metrics-diff.sh — compare two metrics JSON exports (from
+# `nowsim -metrics` or `nowbench -metrics`). Because exports are
+# stable-ordered and byte-deterministic, a plain diff is meaningful:
+# identical runs produce no output, and any difference pinpoints the
+# metric that moved.
+#
+# Usage:
+#   scripts/metrics-diff.sh baseline.json candidate.json
+#
+# Exit status: 0 when identical, 1 when they differ (diff's own codes).
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <baseline.json> <candidate.json>" >&2
+  exit 2
+fi
+
+a="$1"
+b="$2"
+for f in "$a" "$b"; do
+  if [[ ! -r "$f" ]]; then
+    echo "metrics-diff: cannot read $f" >&2
+    exit 2
+  fi
+done
+
+if cmp -s "$a" "$b"; then
+  echo "metrics-diff: identical ($a == $b)"
+  exit 0
+fi
+
+# Unified diff of the pretty-printed JSON: stable ordering means every
+# hunk is a real value change, not key-order noise.
+diff -u --label "$a" --label "$b" "$a" "$b"

@@ -14,4 +14,7 @@ echo "== go test ./..."
 go test ./...
 echo "== go test -race ./internal/sim/..."
 go test -race -count=1 ./internal/sim/...
+echo "== observability golden determinism (byte-identical metrics across runs)"
+go test -count=1 -run 'TestMetricsGoldenDeterminism' ./cmd/nowsim/ >/dev/null
+go test -count=1 -run 'TestEngineMetricsDeterministic' ./internal/sim/ >/dev/null
 echo "verify: all checks passed"
