@@ -9,8 +9,9 @@
 //	nowbench -only T2,F4  # a comma-separated subset of experiment ids
 //	nowbench -json        # machine-readable reports (scripts/bench.sh)
 //
-// Experiment ids follow DESIGN.md §3: T1 T2 T3 T4 F1 F2 F3 F4 and the
-// prose claims E5 E6 E7 E8 E9 E10.
+// Experiment ids follow DESIGN.md §3: T1 T2 T3 T4 F1 F2 F3 F4, the
+// prose claims E5 E6 E7 E8 E9 E10, and the fault-injection availability
+// study AV1 (docs/FAULTS.md).
 package main
 
 import (
@@ -117,6 +118,15 @@ func run(args []string) error {
 			return r, err
 		}},
 		{"E10", func() (experiments.Report, error) { r, _, err := experiments.SWRAID(); return r, err }},
+		{"AV1", func() (experiments.Report, error) {
+			cfg := experiments.DefaultFaultStudyConfig()
+			if *quick {
+				cfg.Workstations = 8
+				cfg.ReadStreams = 2
+			}
+			r, _, err := experiments.FaultStudy(cfg)
+			return r, err
+		}},
 	}
 	ablationSelected := *ablations
 	for _, id := range []string{"A1", "A2", "A3", "A4"} {

@@ -9,11 +9,20 @@
 //	nowsim -ws 64 -hours 12 -policy migrate
 //	nowsim -ws 32 -hours 6 -policy restart -seed 7
 //	nowsim -ws 64 -hours 12 -metrics run.json -trace spans.json
+//	nowsim -ws 32 -hours 6 -faults seed:7 -metrics faulted.json
+//	nowsim -ws 32 -hours 6 -faults plan.txt
 //
 // The -metrics, -metrics-csv and -trace flags attach the observability
 // layer (internal/obs) and export it after the run. All values are
 // keyed to virtual time, so two runs with the same flags produce
 // byte-identical files.
+//
+// The -faults flag injects a fault plan (internal/faults) into the
+// run: workstation crashes with later recovery and census rejoin,
+// fabric partitions, degraded-link windows. A plan is a file (see
+// docs/FAULTS.md for the grammar) or "seed:<n>[,key=val...]" for a
+// generated plan; either way the plan is deterministic, so faulted
+// runs replay exactly.
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"os"
 	"sort"
 
+	"github.com/nowproject/now/internal/faults"
 	"github.com/nowproject/now/internal/glunix"
 	"github.com/nowproject/now/internal/obs"
 	"github.com/nowproject/now/internal/sim"
@@ -46,6 +56,7 @@ func run(args []string) error {
 	metricsPath := fs.String("metrics", "", "write metrics JSON (deterministic, byte-stable) to this file")
 	metricsCSV := fs.String("metrics-csv", "", "write metrics CSV to this file")
 	tracePath := fs.String("trace", "", "write span trace JSON to this file")
+	faultSpec := fs.String("faults", "", "fault plan: a plan file path, or seed:<n>[,key=val...] (docs/FAULTS.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,11 +101,29 @@ func run(args []string) error {
 		cfg.Obs = reg
 	}
 
+	var plan faults.Plan
+	if *faultSpec != "" {
+		var err error
+		plan, err = faults.ParseSpec(*faultSpec, *ws+1, length)
+		if err != nil {
+			return err
+		}
+	}
+
 	fmt.Printf("NOW: %d workstations, %d virtual hours, policy %v, %d parallel jobs\n",
 		*ws, *hours, policy, len(jobs))
 	e := sim.NewEngine(*seed)
 	e.Observe(reg)
-	res, err := glunix.RunMixed(e, cfg, activity, jobs, length+12*sim.Hour)
+	var inj *faults.Injector
+	wire := func(c *glunix.Cluster) {
+		if *faultSpec == "" {
+			return
+		}
+		inj = faults.NewInjector(e, faults.ClusterTarget{C: c}, plan, reg)
+		inj.Schedule()
+		fmt.Printf("fault plan %q: %d faults scheduled\n", plan.Name, len(plan.Faults))
+	}
+	res, err := glunix.RunMixedWith(e, cfg, activity, jobs, length+12*sim.Hour, wire)
 	e.Close()
 	if err != nil && !errors.Is(err, sim.ErrStopped) {
 		return err
@@ -108,6 +137,10 @@ func run(args []string) error {
 	m := res.Master
 	fmt.Printf("migrations: %d   evictions: %d   restarts: %d   image saves/restores: %d/%d\n",
 		m.Migrations, m.Evictions, m.Restarts, m.ImageSaves, m.ImageRestores)
+	if inj != nil {
+		fmt.Printf("faults applied: %d/%d   nodes declared down: %d   rejoins: %d\n",
+			inj.Applied(), len(plan.Faults), m.NodesDown, m.Rejoins)
+	}
 	if m.UserDelays.N() > 0 {
 		fmt.Printf("user delay on return: median %.2fs, p95 %.2fs, max %.2fs (n=%d)\n",
 			m.UserDelays.Median(), m.UserDelays.Percentile(95), m.UserDelays.Percentile(100),

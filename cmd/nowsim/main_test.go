@@ -59,3 +59,57 @@ func TestMetricsGoldenDeterminism(t *testing.T) {
 		t.Fatalf("metrics file malformed:\n%.200s", m1)
 	}
 }
+
+// TestFaultedRunGoldenDeterminism is the CLI half of the fault
+// subsystem's determinism gate: the same generated fault plan, injected
+// into the same seeded scenario twice, must export byte-identical
+// metrics — including the faults.* counters and fault.* spans.
+func TestFaultedRunGoldenDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(n string) ([]byte, []byte) {
+		m := filepath.Join(dir, "fm"+n+".json")
+		tr := filepath.Join(dir, "ft"+n+".json")
+		if err := run([]string{"-ws", "8", "-hours", "1", "-seed", "5",
+			"-faults", "seed:7", "-metrics", m, "-trace", tr}); err != nil {
+			t.Fatal(err)
+		}
+		mb, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := os.ReadFile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mb, tb
+	}
+	m1, t1 := runOnce("1")
+	m2, t2 := runOnce("2")
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("same fault plan produced different metrics JSON")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Fatal("same fault plan produced different trace JSON")
+	}
+	if !bytes.Contains(m1, []byte(`"faults.injected"`)) {
+		t.Fatalf("faulted run exported no faults.injected counter:\n%.300s", m1)
+	}
+}
+
+// TestFaultPlanFromFile exercises the file branch of -faults.
+func TestFaultPlanFromFile(t *testing.T) {
+	dir := t.TempDir()
+	plan := filepath.Join(dir, "plan.txt")
+	if err := os.WriteFile(plan, []byte("10m crash 3 for 5m\n30m partition 2,4 for 2m\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-ws", "8", "-hours", "1", "-seed", "2", "-faults", plan}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFaultSpec(t *testing.T) {
+	if err := run([]string{"-ws", "8", "-hours", "1", "-faults", "seed:zzz"}); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+}

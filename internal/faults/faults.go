@@ -1,0 +1,173 @@
+// Package faults is a deterministic fault-injection subsystem for the
+// NOW stack. The paper's availability argument — "if one workstation in
+// the NOW crashes, any other can take its place" — is only credible if
+// the stack is exercised under faults, so this package turns fault
+// scenarios into first-class, replayable inputs.
+//
+// A Plan is a virtual-time schedule of faults, either scripted
+// explicitly (Scripted, ParseFile) or generated from a seeded RNG with
+// per-fault-class rates (Generate) — MTTF/MTTR style. An Injector
+// executes the plan against a live stack through the Target interface,
+// which adapters wire to each subsystem: workstation crash and
+// recovery/rejoin (glunix), network partitions and lossy/slow link
+// windows (netsim), disk failure, rebuild and spare adoption
+// (swraid via xfs), and xFS manager kill forcing failover.
+//
+// Determinism: a plan is fully determined by its source (script bytes,
+// or seed + rates), and the injector schedules faults as ordinary
+// engine events, so two runs of the same seeded scenario produce
+// byte-identical metrics exports (see docs/FAULTS.md).
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+// Kind classifies a fault.
+type Kind int
+
+const (
+	// Crash fail-stops a workstation (glunix census notices via missed
+	// heartbeats; guests die and their jobs restart from checkpoint).
+	Crash Kind = iota + 1
+	// Recover reboots a crashed workstation; it rejoins the census on
+	// its first heartbeat (subject to glunix.RecoverPolicy).
+	Recover
+	// Partition splits the fabric: nodes in Set are cut off from the
+	// rest (packets across the cut are dropped).
+	Partition
+	// Heal removes the partition.
+	Heal
+	// Link degrades one link: packet loss probability Loss and added
+	// one-way delay Delay between Node and Peer.
+	Link
+	// LinkClear restores the link between Node and Peer.
+	LinkClear
+	// DiskFail fail-stops storage node Node: its endpoint detaches and
+	// every RAID view marks its store failed (reads go degraded).
+	DiskFail
+	// Rebuild reconstructs the failed store Node onto replacement Peer
+	// (Peer < 0 picks the next unused hot spare).
+	Rebuild
+	// MgrKill crashes the node hosting xFS manager index Node, forcing
+	// failover to the hot standby.
+	MgrKill
+)
+
+var kindNames = [...]string{
+	Crash:     "crash",
+	Recover:   "recover",
+	Partition: "partition",
+	Heal:      "heal",
+	Link:      "link",
+	LinkClear: "linkclear",
+	DiskFail:  "diskfail",
+	Rebuild:   "rebuild",
+	MgrKill:   "mgrkill",
+}
+
+// NumKinds is the number of fault kinds (CounterVec width).
+const NumKinds = int(MgrKill)
+
+// String names the kind (the plan-file keyword).
+func (k Kind) String() string {
+	if k >= 1 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fault is one scheduled fault. Which fields matter depends on Kind.
+type Fault struct {
+	// At is the injection time.
+	At sim.Time
+	// Kind selects the fault class.
+	Kind Kind
+	// Node is the primary subject: workstation id (Crash/Recover),
+	// link endpoint (Link/LinkClear), storage node (DiskFail/Rebuild),
+	// or manager index (MgrKill).
+	Node int
+	// Peer is the other link endpoint (Link/LinkClear) or the rebuild
+	// replacement node (Rebuild; -1 = auto-pick a hot spare).
+	Peer int
+	// Set is one side of a Partition (the rest of the fabric is the
+	// other side).
+	Set []int
+	// For, when > 0, makes the fault a window: the injector schedules
+	// the inverse fault (Recover, Heal, LinkClear) at At+For.
+	For sim.Duration
+	// Loss is the injected packet-loss probability (Link).
+	Loss float64
+	// Delay is the injected extra one-way latency (Link).
+	Delay sim.Duration
+}
+
+// String renders the fault in plan-file syntax.
+func (f Fault) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", sim.Duration(f.At), f.Kind)
+	switch f.Kind {
+	case Crash, Recover, DiskFail, MgrKill:
+		fmt.Fprintf(&b, " %d", f.Node)
+	case Partition:
+		parts := make([]string, len(f.Set))
+		for i, n := range f.Set {
+			parts[i] = strconv.Itoa(n)
+		}
+		fmt.Fprintf(&b, " %s", strings.Join(parts, ","))
+	case Link:
+		fmt.Fprintf(&b, " %d %d loss=%g delay=%s", f.Node, f.Peer, f.Loss, f.Delay)
+	case LinkClear:
+		fmt.Fprintf(&b, " %d %d", f.Node, f.Peer)
+	case Rebuild:
+		fmt.Fprintf(&b, " %d", f.Node)
+		if f.Peer >= 0 {
+			fmt.Fprintf(&b, " %d", f.Peer)
+		}
+	}
+	if f.For > 0 {
+		fmt.Fprintf(&b, " for %s", f.For)
+	}
+	return b.String()
+}
+
+// Plan is a schedule of faults. Faults are injected in At order; ties
+// keep plan order (stable sort), so a plan is a deterministic input.
+type Plan struct {
+	// Name labels the plan in reports and spans.
+	Name string
+	// Seed is the generator seed (0 for scripted plans).
+	Seed int64
+	// Faults is the schedule.
+	Faults []Fault
+}
+
+// Scripted builds a plan from explicit faults, sorting by time.
+func Scripted(name string, faults ...Fault) Plan {
+	p := Plan{Name: name, Faults: faults}
+	p.normalize()
+	return p
+}
+
+// normalize stable-sorts by injection time.
+func (p *Plan) normalize() {
+	sort.SliceStable(p.Faults, func(i, j int) bool {
+		return p.Faults[i].At < p.Faults[j].At
+	})
+}
+
+// String renders the plan in plan-file syntax, one fault per line.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# plan %q seed=%d faults=%d\n", p.Name, p.Seed, len(p.Faults))
+	for _, f := range p.Faults {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

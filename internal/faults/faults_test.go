@@ -1,0 +1,198 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+func TestScriptedSortsByTime(t *testing.T) {
+	p := Scripted("x",
+		Fault{At: 30 * sim.Second, Kind: Heal},
+		Fault{At: 10 * sim.Second, Kind: Crash, Node: 3},
+		Fault{At: 20 * sim.Second, Kind: DiskFail, Node: 1},
+	)
+	for i := 1; i < len(p.Faults); i++ {
+		if p.Faults[i].At < p.Faults[i-1].At {
+			t.Fatalf("plan not sorted: %v", p.Faults)
+		}
+	}
+	if p.Faults[0].Kind != Crash || p.Faults[2].Kind != Heal {
+		t.Fatalf("sort order wrong: %v", p.Faults)
+	}
+}
+
+func TestParseEveryKind(t *testing.T) {
+	const text = `
+# availability drill
+10s crash 5 for 2m
+3m  recover 5
+90s partition 3,4,7 for 30s
+4m  heal
+2m  link 1 2 loss=0.25 delay=3ms for 45s
+5m  linkclear 1 2
+6m  diskfail 2
+7m  rebuild 2
+7m30s rebuild 2 9
+8m  mgrkill 0   # second column comment
+`
+	p, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Faults) != 10 {
+		t.Fatalf("parsed %d faults, want 10:\n%s", len(p.Faults), p)
+	}
+	byKind := map[Kind]Fault{}
+	for _, f := range p.Faults {
+		byKind[f.Kind] = f
+	}
+	if f := byKind[Crash]; f.Node != 5 || f.For != 2*sim.Minute || f.At != 10*sim.Second {
+		t.Fatalf("crash parsed as %+v", f)
+	}
+	if f := byKind[Partition]; !reflect.DeepEqual(f.Set, []int{3, 4, 7}) || f.For != 30*sim.Second {
+		t.Fatalf("partition parsed as %+v", f)
+	}
+	if f := byKind[Link]; f.Node != 1 || f.Peer != 2 || f.Loss != 0.25 ||
+		f.Delay != 3*sim.Millisecond || f.For != 45*sim.Second {
+		t.Fatalf("link parsed as %+v", f)
+	}
+	if f := byKind[MgrKill]; f.Node != 0 || f.At != 8*sim.Minute {
+		t.Fatalf("mgrkill parsed as %+v", f)
+	}
+}
+
+// TestPlanRoundTrips renders a parsed plan with String and parses the
+// result: the grammar and the printer must agree exactly.
+func TestPlanRoundTrips(t *testing.T) {
+	const text = `
+5s crash 3 for 1m
+20s partition 2,6 for 10s
+40s link 0 4 loss=0.1 delay=500µs for 5s
+1m  diskfail 2
+2m  rebuild 2
+3m  rebuild 4 9
+4m  mgrkill 1
+`
+	p1, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(strings.NewReader(p1.String()))
+	if err != nil {
+		t.Fatalf("re-parsing rendered plan: %v\n%s", err, p1)
+	}
+	if !reflect.DeepEqual(p1.Faults, p2.Faults) {
+		t.Fatalf("round trip changed the plan:\n%v\nvs\n%v", p1.Faults, p2.Faults)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"10s explode 3",          // unknown kind
+		"abc crash 3",            // bad time
+		"10s crash three",        // bad node
+		"10s crash",              // missing node
+		"10s heal 4",             // heal takes no args
+		"10s partition",          // missing set
+		"10s link 1",             // missing peer
+		"10s link 1 2 loss=x",    // bad loss
+		"10s rebuild",            // missing store
+		"10s crash 3 for soon",   // bad window
+		"10s link 1 2 jitter=3s", // unknown link option
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseSpecGeneratedDeterministic(t *testing.T) {
+	const spec = "seed:7,nodemttf=15m,linkloss=0.2"
+	p1, err := ParseSpec(spec, 16, sim.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParseSpec(spec, 16, sim.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("same spec generated different plans")
+	}
+	p3, err := ParseSpec("seed:8,nodemttf=15m,linkloss=0.2", 16, sim.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(p1.Faults, p3.Faults) {
+		t.Fatal("different seeds generated identical plans")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"seed:x",
+		"seed:1,mttf",          // not key=value
+		"seed:1,warp=10s",      // unknown key
+		"seed:1,nodemttf=fast", // bad duration
+		"seed:1,linkloss=lots", // bad probability
+	} {
+		if _, err := ParseSpec(bad, 8, sim.Hour); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestGenerateInvariants(t *testing.T) {
+	const horizon = 2 * sim.Hour
+	p, err := Generate(3, DefaultRates(16, horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Faults) == 0 {
+		t.Fatal("default rates generated an empty plan")
+	}
+	for i, f := range p.Faults {
+		if f.At <= 0 || f.At >= sim.Time(horizon) {
+			t.Fatalf("fault %d at %v outside (0, %v)", i, f.At, horizon)
+		}
+		if f.For > 0 && f.At+sim.Time(f.For) >= sim.Time(horizon) {
+			t.Fatalf("fault %d window [%v, %v] overruns the horizon", i, f.At, f.At+sim.Time(f.For))
+		}
+		if i > 0 && f.At < p.Faults[i-1].At {
+			t.Fatalf("plan not time-sorted at %d", i)
+		}
+		switch f.Kind {
+		case Crash, DiskFail:
+			if f.Node < 1 || f.Node >= 16 {
+				t.Fatalf("fault %d targets node %d (master or out of range)", i, f.Node)
+			}
+		case Partition:
+			for _, n := range f.Set {
+				if n < 1 || n >= 16 {
+					t.Fatalf("partition cuts node %d", n)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(1, Rates{Nodes: 1, Horizon: sim.Hour}); err == nil {
+		t.Fatal("accepted a 1-node fabric")
+	}
+	if _, err := Generate(1, Rates{Nodes: 4}); err == nil {
+		t.Fatal("accepted a zero horizon")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Crash.String() != "crash" || MgrKill.String() != "mgrkill" {
+		t.Fatal("kind names wrong")
+	}
+	if got := Kind(42).String(); got != "kind(42)" {
+		t.Fatalf("out-of-range kind = %q", got)
+	}
+}

@@ -1,0 +1,172 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+// Rates parameterizes a generated plan: per-fault-class MTTF-style
+// inter-arrival means and MTTR-style repair delays. A zero mean
+// disables that class. Generation uses its own seeded RNG (not the
+// engine's), so the plan is fixed before the simulation starts and the
+// same seed+rates always yield the same plan.
+type Rates struct {
+	// Nodes is the fabric size (node 0 is never faulted: it hosts the
+	// glunix master).
+	Nodes int
+	// Horizon bounds injection times: all faults land in (0, Horizon),
+	// and windowed faults are clipped so their undo lands before it.
+	Horizon sim.Duration
+
+	// NodeMTTF is the mean time between workstation crashes; NodeMTTR
+	// the mean outage before the reboot/rejoin.
+	NodeMTTF sim.Duration
+	NodeMTTR sim.Duration
+
+	// PartitionMTTF is the mean time between fabric partitions;
+	// PartitionFor the mean window before the heal.
+	PartitionMTTF sim.Duration
+	PartitionFor  sim.Duration
+
+	// LinkMTTF is the mean time between degraded-link windows; LinkFor
+	// the mean window length; LinkLoss and LinkDelay the injected loss
+	// probability and extra one-way latency while the window is open.
+	LinkMTTF  sim.Duration
+	LinkFor   sim.Duration
+	LinkLoss  float64
+	LinkDelay sim.Duration
+
+	// DiskMTTF is the mean time between storage-node failures;
+	// DiskRebuildAfter the mean delay before the rebuild onto a spare.
+	DiskMTTF         sim.Duration
+	DiskRebuildAfter sim.Duration
+
+	// MgrMTTF is the mean time between xFS manager kills.
+	MgrMTTF sim.Duration
+}
+
+// DefaultRates returns a plan shape that exercises every fault class a
+// few times over the horizon on an n-node stack.
+func DefaultRates(n int, horizon sim.Duration) Rates {
+	return Rates{
+		Nodes:            n,
+		Horizon:          horizon,
+		NodeMTTF:         horizon / 3,
+		NodeMTTR:         horizon / 20,
+		PartitionMTTF:    horizon / 2,
+		PartitionFor:     horizon / 30,
+		LinkMTTF:         horizon / 2,
+		LinkFor:          horizon / 20,
+		LinkLoss:         0.05,
+		LinkDelay:        2 * sim.Millisecond,
+		DiskMTTF:         horizon / 2,
+		DiskRebuildAfter: horizon / 30,
+		MgrMTTF:          horizon,
+	}
+}
+
+// Generate draws a plan from seed and r. The RNG is private to the
+// generator: the engine's randomness is untouched, so adding a fault
+// class never perturbs scheduling decisions elsewhere.
+func Generate(seed int64, r Rates) (Plan, error) {
+	if r.Nodes < 2 {
+		return Plan{}, fmt.Errorf("faults: generate needs ≥2 nodes, have %d", r.Nodes)
+	}
+	if r.Horizon <= 0 {
+		return Plan{}, fmt.Errorf("faults: generate needs a positive horizon")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{Name: fmt.Sprintf("seed:%d", seed), Seed: seed}
+
+	// exp draws an exponential interval with the given mean, floored at
+	// 1ns so schedules always advance.
+	exp := func(mean sim.Duration) sim.Duration {
+		d := sim.Duration(rng.ExpFloat64() * float64(mean))
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	// ws picks a non-master workstation.
+	ws := func() int { return 1 + rng.Intn(r.Nodes-1) }
+
+	if r.NodeMTTF > 0 {
+		for t := exp(r.NodeMTTF); t < r.Horizon; t += exp(r.NodeMTTF) {
+			outage := exp(r.NodeMTTR)
+			if sim.Time(t)+outage >= sim.Time(r.Horizon) {
+				outage = r.Horizon - t - 1
+			}
+			if outage <= 0 {
+				continue
+			}
+			p.Faults = append(p.Faults, Fault{At: sim.Time(t), Kind: Crash, Node: ws(), For: outage})
+		}
+	}
+	if r.PartitionMTTF > 0 {
+		for t := exp(r.PartitionMTTF); t < r.Horizon; t += exp(r.PartitionMTTF) {
+			window := exp(r.PartitionFor)
+			if sim.Time(t)+window >= sim.Time(r.Horizon) {
+				window = r.Horizon - t - 1
+			}
+			if window <= 0 {
+				continue
+			}
+			// Cut off a random minority of non-master nodes.
+			k := 1 + rng.Intn(max(1, (r.Nodes-1)/2))
+			seen := make(map[int]bool, k)
+			set := make([]int, 0, k)
+			for len(set) < k {
+				n := ws()
+				if !seen[n] {
+					seen[n] = true
+					set = append(set, n)
+				}
+			}
+			p.Faults = append(p.Faults, Fault{At: sim.Time(t), Kind: Partition, Set: set, For: window})
+		}
+	}
+	if r.LinkMTTF > 0 {
+		for t := exp(r.LinkMTTF); t < r.Horizon; t += exp(r.LinkMTTF) {
+			window := exp(r.LinkFor)
+			if sim.Time(t)+window >= sim.Time(r.Horizon) {
+				window = r.Horizon - t - 1
+			}
+			if window <= 0 {
+				continue
+			}
+			a := rng.Intn(r.Nodes)
+			b := rng.Intn(r.Nodes)
+			if a == b {
+				b = (b + 1) % r.Nodes
+			}
+			p.Faults = append(p.Faults, Fault{At: sim.Time(t), Kind: Link,
+				Node: a, Peer: b, Loss: r.LinkLoss, Delay: r.LinkDelay, For: window})
+		}
+	}
+	if r.DiskMTTF > 0 {
+		for t := exp(r.DiskMTTF); t < r.Horizon; t += exp(r.DiskMTTF) {
+			store := ws()
+			p.Faults = append(p.Faults, Fault{At: sim.Time(t), Kind: DiskFail, Node: store})
+			rb := sim.Time(t) + exp(r.DiskRebuildAfter)
+			if rb < sim.Time(r.Horizon) {
+				p.Faults = append(p.Faults, Fault{At: rb, Kind: Rebuild, Node: store, Peer: -1})
+			}
+		}
+	}
+	if r.MgrMTTF > 0 {
+		for t := exp(r.MgrMTTF); t < r.Horizon; t += exp(r.MgrMTTF) {
+			p.Faults = append(p.Faults, Fault{At: sim.Time(t), Kind: MgrKill, Node: 0})
+		}
+	}
+	p.normalize()
+	return p, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

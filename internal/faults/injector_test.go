@@ -1,0 +1,232 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/nowproject/now/internal/obs"
+	"github.com/nowproject/now/internal/sim"
+)
+
+// recTarget records every handled call with its virtual timestamp.
+type recTarget struct {
+	e     *sim.Engine
+	calls []string
+	fail  error // returned by RebuildDisk when set
+}
+
+func (r *recTarget) log(format string, args ...any) bool {
+	r.calls = append(r.calls, fmt.Sprintf("%v ", r.e.Now())+fmt.Sprintf(format, args...))
+	return true
+}
+
+func (r *recTarget) CrashNode(n int) bool   { return r.log("crash %d", n) }
+func (r *recTarget) RecoverNode(n int) bool { return r.log("recover %d", n) }
+func (r *recTarget) PartitionNodes(set []int) bool {
+	return r.log("partition %v", set)
+}
+func (r *recTarget) Heal() bool { return r.log("heal") }
+func (r *recTarget) LinkFault(a, b int, loss float64, delay sim.Duration) bool {
+	return r.log("link %d %d loss=%g delay=%v", a, b, loss, delay)
+}
+func (r *recTarget) LinkClear(a, b int) bool { return r.log("linkclear %d %d", a, b) }
+func (r *recTarget) FailDisk(n int) bool     { return r.log("diskfail %d", n) }
+func (r *recTarget) RebuildDisk(p *sim.Proc, failed, repl int) (bool, error) {
+	r.log("rebuild %d %d", failed, repl)
+	return true, r.fail
+}
+func (r *recTarget) KillManager(p *sim.Proc, idx int) bool { return r.log("mgrkill %d", idx) }
+
+func runPlan(t *testing.T, plan Plan, tgt func(e *sim.Engine) Target, reg *obs.Registry) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	defer e.Close()
+	e.Observe(reg)
+	in := NewInjector(e, tgt(e), plan, reg)
+	in.Schedule()
+	if err := e.RunUntil(sim.Hour); err != nil && !errors.Is(err, sim.ErrStopped) {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowedFaultsUndoWithoutRegistry is the regression test for the
+// injector's undo path: windowed faults must schedule their inverse
+// even with no registry attached (the span id is 0 then, and must not
+// be used as the "handled" signal).
+func TestWindowedFaultsUndoWithoutRegistry(t *testing.T) {
+	var rec *recTarget
+	plan := Scripted("w",
+		Fault{At: 10 * sim.Second, Kind: Crash, Node: 3, For: 20 * sim.Second},
+		Fault{At: 15 * sim.Second, Kind: Partition, Set: []int{2}, For: 5 * sim.Second},
+		Fault{At: 40 * sim.Second, Kind: Link, Node: 1, Peer: 2, Loss: 0.5, For: 10 * sim.Second},
+	)
+	runPlan(t, plan, func(e *sim.Engine) Target { rec = &recTarget{e: e}; return rec }, nil)
+	want := []string{
+		"10s crash 3",
+		"15s partition [2]",
+		"20s heal",
+		"30s recover 3",
+		"40s link 1 2 loss=0.5 delay=0s",
+		"50s linkclear 1 2",
+	}
+	if !reflect.DeepEqual(rec.calls, want) {
+		t.Fatalf("calls:\n%v\nwant:\n%v", rec.calls, want)
+	}
+}
+
+func TestInstantFaultsApplyInOrder(t *testing.T) {
+	var rec *recTarget
+	plan := Scripted("i",
+		Fault{At: 1 * sim.Second, Kind: DiskFail, Node: 2},
+		Fault{At: 2 * sim.Second, Kind: Rebuild, Node: 2, Peer: 7},
+		Fault{At: 3 * sim.Second, Kind: MgrKill, Node: 0},
+		Fault{At: 4 * sim.Second, Kind: Recover, Node: 9},
+	)
+	runPlan(t, plan, func(e *sim.Engine) Target { rec = &recTarget{e: e}; return rec }, nil)
+	want := []string{"1s diskfail 2", "2s rebuild 2 7", "3s mgrkill 0", "4s recover 9"}
+	if !reflect.DeepEqual(rec.calls, want) {
+		t.Fatalf("calls:\n%v\nwant:\n%v", rec.calls, want)
+	}
+}
+
+func TestInjectorMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	plan := Scripted("m",
+		Fault{At: 1 * sim.Second, Kind: Crash, Node: 3, For: 10 * sim.Second},
+		Fault{At: 2 * sim.Second, Kind: DiskFail, Node: 2},
+		Fault{At: 3 * sim.Second, Kind: Rebuild, Node: 2, Peer: -1},
+	)
+	runPlan(t, plan, func(e *sim.Engine) Target { return &recTarget{e: e} }, reg)
+	if v, _ := reg.CounterValue("faults.injected"); v != 3 {
+		t.Fatalf("faults.injected = %d, want 3", v)
+	}
+	if v, _ := reg.CounterValue("faults.skipped"); v != 0 {
+		t.Fatalf("faults.skipped = %d, want 0", v)
+	}
+	if v, _ := reg.GaugeValue("faults.active"); v != 0 {
+		t.Fatalf("faults.active = %d after all windows closed", v)
+	}
+	// One span per fault, all closed, named fault.<kind>.
+	spans := reg.Spans()
+	names := map[string]bool{}
+	for _, sp := range spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"fault.crash", "fault.diskfail", "fault.rebuild"} {
+		if !names[want] {
+			t.Fatalf("missing span %q in %v", want, names)
+		}
+	}
+}
+
+func TestUnhandledFaultsCountAsSkipped(t *testing.T) {
+	reg := obs.NewRegistry()
+	plan := Scripted("s",
+		Fault{At: 1 * sim.Second, Kind: Crash, Node: 3, For: 10 * sim.Second},
+		Fault{At: 2 * sim.Second, Kind: DiskFail, Node: 2},
+		Fault{At: 3 * sim.Second, Kind: Rebuild, Node: 2, Peer: -1},
+		Fault{At: 4 * sim.Second, Kind: MgrKill, Node: 0},
+	)
+	e := sim.NewEngine(1)
+	defer e.Close()
+	e.Observe(reg)
+	in := NewInjector(e, BaseTarget{}, plan, reg)
+	in.Schedule()
+	if err := e.RunUntil(sim.Minute); err != nil && !errors.Is(err, sim.ErrStopped) {
+		t.Fatal(err)
+	}
+	if in.Applied() != 0 {
+		t.Fatalf("BaseTarget applied %d faults", in.Applied())
+	}
+	if v, _ := reg.CounterValue("faults.skipped"); v != 4 {
+		t.Fatalf("faults.skipped = %d, want 4", v)
+	}
+	if v, _ := reg.GaugeValue("faults.active"); v != 0 {
+		t.Fatalf("faults.active = %d for unhandled windows", v)
+	}
+}
+
+func TestRebuildErrorCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	plan := Scripted("e", Fault{At: sim.Second, Kind: Rebuild, Node: 2, Peer: -1})
+	runPlan(t, plan, func(e *sim.Engine) Target {
+		return &recTarget{e: e, fail: errors.New("no spare")}
+	}, reg)
+	if v, _ := reg.CounterValue("faults.errors"); v != 1 {
+		t.Fatalf("faults.errors = %d, want 1", v)
+	}
+	// The fault still counts as injected: the target handled it.
+	if v, _ := reg.CounterValue("faults.injected"); v != 1 {
+		t.Fatalf("faults.injected = %d, want 1", v)
+	}
+}
+
+// TestCombineFirstHandlerWins routes each fault to the first target
+// that claims it, mirroring how cluster and storage targets share a
+// plan's id space.
+func TestCombineFirstHandlerWins(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	crashOnly := &crashOnlyTarget{e: e}
+	second := &recTarget{e: e}
+	tgt := Combine(crashOnly, second)
+	in := NewInjector(e, tgt, Scripted("c",
+		Fault{At: sim.Second, Kind: Crash, Node: 3},
+		Fault{At: 2 * sim.Second, Kind: DiskFail, Node: 2},
+	), nil)
+	in.Schedule()
+	if err := e.RunUntil(sim.Minute); err != nil && !errors.Is(err, sim.ErrStopped) {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(crashOnly.calls, []string{"1s crash 3"}) {
+		t.Fatalf("first target saw %v", crashOnly.calls)
+	}
+	if !reflect.DeepEqual(second.calls, []string{"2s diskfail 2"}) {
+		t.Fatalf("second target saw %v", second.calls)
+	}
+}
+
+type crashOnlyTarget struct {
+	BaseTarget
+	e     *sim.Engine
+	calls []string
+}
+
+func (c *crashOnlyTarget) CrashNode(n int) bool {
+	c.calls = append(c.calls, fmt.Sprintf("%v crash %d", c.e.Now(), n))
+	return true
+}
+
+// TestInjectorDeterministicExport runs the same plan twice on fresh
+// engines and requires byte-identical metrics and trace exports — the
+// engine-level half of the determinism gate (the CLI half lives in
+// cmd/nowsim).
+func TestInjectorDeterministicExport(t *testing.T) {
+	run := func() (string, string) {
+		reg := obs.NewRegistry()
+		plan, err := Generate(11, DefaultRates(8, 10*sim.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runPlan(t, plan, func(e *sim.Engine) Target { return &recTarget{e: e} }, reg)
+		var m, tr bytes.Buffer
+		if err := reg.WriteMetricsJSON(&m); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WriteTraceJSON(&tr); err != nil {
+			t.Fatal(err)
+		}
+		return m.String(), tr.String()
+	}
+	m1, t1 := run()
+	m2, t2 := run()
+	if m1 != m2 {
+		t.Fatal("same plan produced different metrics exports")
+	}
+	if t1 != t2 {
+		t.Fatal("same plan produced different trace exports")
+	}
+}

@@ -1,0 +1,276 @@
+package faults
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+// Plan-file grammar (one fault per line; '#' starts a comment):
+//
+//	<at> crash <ws> [for <dur>]
+//	<at> recover <ws>
+//	<at> partition <a,b,c> [for <dur>]
+//	<at> heal
+//	<at> link <a> <b> [loss=<p>] [delay=<dur>] [for <dur>]
+//	<at> linkclear <a> <b>
+//	<at> diskfail <store>
+//	<at> rebuild <failed> [<replacement>]
+//	<at> mgrkill <idx>
+//
+// <at> and <dur> use Go duration syntax ("90s", "2.5ms"); <at> is
+// virtual time from the start of the run. Fault.String emits this
+// grammar, so plans round-trip.
+
+// ParseFile reads a plan file (see the grammar above).
+func ParseFile(path string) (Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Plan{}, fmt.Errorf("faults: %w", err)
+	}
+	defer f.Close()
+	p, err := Parse(f)
+	if err != nil {
+		return Plan{}, err
+	}
+	p.Name = path
+	return p, nil
+}
+
+// Parse reads a plan from r in plan-file syntax.
+func Parse(r io.Reader) (Plan, error) {
+	var p Plan
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		f, err := parseFault(fields)
+		if err != nil {
+			return Plan{}, fmt.Errorf("faults: line %d: %w", lineNo, err)
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	if err := sc.Err(); err != nil {
+		return Plan{}, fmt.Errorf("faults: %w", err)
+	}
+	p.normalize()
+	return p, nil
+}
+
+func parseFault(fields []string) (Fault, error) {
+	at, err := parseDur(fields[0])
+	if err != nil {
+		return Fault{}, fmt.Errorf("bad time %q: %w", fields[0], err)
+	}
+	if len(fields) < 2 {
+		return Fault{}, fmt.Errorf("missing fault kind after %q", fields[0])
+	}
+	f := Fault{At: sim.Time(at), Peer: -1}
+	kind := fields[1]
+	args := fields[2:]
+
+	// Peel a trailing "for <dur>" window off any fault line.
+	if n := len(args); n >= 2 && args[n-2] == "for" {
+		w, err := parseDur(args[n-1])
+		if err != nil {
+			return Fault{}, fmt.Errorf("bad window %q: %w", args[n-1], err)
+		}
+		f.For = w
+		args = args[:n-2]
+	}
+
+	needInts := func(n int) ([]int, error) {
+		if len(args) != n {
+			return nil, fmt.Errorf("%s wants %d argument(s), got %d", kind, n, len(args))
+		}
+		out := make([]int, n)
+		for i, a := range args {
+			v, err := strconv.Atoi(a)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad node %q", kind, a)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	switch kind {
+	case "crash", "recover", "diskfail", "mgrkill":
+		ids, err := needInts(1)
+		if err != nil {
+			return Fault{}, err
+		}
+		f.Node = ids[0]
+		switch kind {
+		case "crash":
+			f.Kind = Crash
+		case "recover":
+			f.Kind = Recover
+		case "diskfail":
+			f.Kind = DiskFail
+		case "mgrkill":
+			f.Kind = MgrKill
+		}
+	case "partition":
+		if len(args) != 1 {
+			return Fault{}, fmt.Errorf("partition wants one comma-joined node set")
+		}
+		for _, s := range strings.Split(args[0], ",") {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return Fault{}, fmt.Errorf("partition: bad node %q", s)
+			}
+			f.Set = append(f.Set, v)
+		}
+		f.Kind = Partition
+	case "heal":
+		if len(args) != 0 {
+			return Fault{}, fmt.Errorf("heal takes no arguments")
+		}
+		f.Kind = Heal
+	case "link", "linkclear":
+		// link takes optional loss=/delay= after the two endpoints.
+		rest := args
+		if kind == "link" {
+			for len(rest) > 2 {
+				kv := rest[len(rest)-1]
+				switch {
+				case strings.HasPrefix(kv, "loss="):
+					v, err := strconv.ParseFloat(kv[len("loss="):], 64)
+					if err != nil {
+						return Fault{}, fmt.Errorf("link: bad %q", kv)
+					}
+					f.Loss = v
+				case strings.HasPrefix(kv, "delay="):
+					d, err := parseDur(kv[len("delay="):])
+					if err != nil {
+						return Fault{}, fmt.Errorf("link: bad %q", kv)
+					}
+					f.Delay = d
+				default:
+					return Fault{}, fmt.Errorf("link: unknown option %q", kv)
+				}
+				rest = rest[:len(rest)-1]
+			}
+		}
+		if len(rest) != 2 {
+			return Fault{}, fmt.Errorf("%s wants two endpoints", kind)
+		}
+		a, err1 := strconv.Atoi(rest[0])
+		b, err2 := strconv.Atoi(rest[1])
+		if err1 != nil || err2 != nil {
+			return Fault{}, fmt.Errorf("%s: bad endpoints %q %q", kind, rest[0], rest[1])
+		}
+		f.Node, f.Peer = a, b
+		if kind == "link" {
+			f.Kind = Link
+		} else {
+			f.Kind = LinkClear
+		}
+	case "rebuild":
+		switch len(args) {
+		case 1:
+			v, err := strconv.Atoi(args[0])
+			if err != nil {
+				return Fault{}, fmt.Errorf("rebuild: bad node %q", args[0])
+			}
+			f.Node, f.Peer = v, -1
+		case 2:
+			ids, err := needInts(2)
+			if err != nil {
+				return Fault{}, err
+			}
+			f.Node, f.Peer = ids[0], ids[1]
+		default:
+			return Fault{}, fmt.Errorf("rebuild wants <failed> [<replacement>]")
+		}
+		f.Kind = Rebuild
+	default:
+		return Fault{}, fmt.Errorf("unknown fault kind %q", kind)
+	}
+	return f, nil
+}
+
+// ParseSpec resolves a CLI fault spec: either "seed:<n>[,key=val...]"
+// (a generated plan; keys override DefaultRates fields) or a plan-file
+// path. nodes and horizon shape generated plans.
+//
+// Rate keys: nodemttf, nodemttr, partmttf, partfor, linkmttf, linkfor,
+// linkloss, linkdelay, diskmttf, rebuildafter, mgrmttf. Duration values
+// use Go syntax; linkloss is a probability.
+func ParseSpec(spec string, nodes int, horizon sim.Duration) (Plan, error) {
+	if !strings.HasPrefix(spec, "seed:") {
+		return ParseFile(spec)
+	}
+	parts := strings.Split(spec[len("seed:"):], ",")
+	seed, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return Plan{}, fmt.Errorf("faults: bad seed %q: %w", parts[0], err)
+	}
+	r := DefaultRates(nodes, horizon)
+	for _, kv := range parts[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: bad rate %q (want key=value)", kv)
+		}
+		if k == "linkloss" {
+			r.LinkLoss, err = strconv.ParseFloat(v, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faults: bad %q: %w", kv, err)
+			}
+			continue
+		}
+		d, err := parseDur(v)
+		if err != nil {
+			return Plan{}, fmt.Errorf("faults: bad %q: %w", kv, err)
+		}
+		switch k {
+		case "nodemttf":
+			r.NodeMTTF = d
+		case "nodemttr":
+			r.NodeMTTR = d
+		case "partmttf":
+			r.PartitionMTTF = d
+		case "partfor":
+			r.PartitionFor = d
+		case "linkmttf":
+			r.LinkMTTF = d
+		case "linkfor":
+			r.LinkFor = d
+		case "linkdelay":
+			r.LinkDelay = d
+		case "diskmttf":
+			r.DiskMTTF = d
+		case "rebuildafter":
+			r.DiskRebuildAfter = d
+		case "mgrmttf":
+			r.MgrMTTF = d
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown rate key %q", k)
+		}
+	}
+	return Generate(seed, r)
+}
+
+// parseDur reads a Go-syntax duration into virtual time.
+func parseDur(s string) (sim.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Duration(d.Nanoseconds()), nil
+}

@@ -59,6 +59,33 @@ const (
 	IgnoreUser
 )
 
+// RecoverPolicy is whether a workstation that crashed and came back can
+// rejoin the census and become recruitable again.
+type RecoverPolicy int
+
+const (
+	// RejoinOnHeartbeat re-admits a recovered workstation as soon as its
+	// daemon's first heartbeat reaches the master — the paper's design:
+	// "if one workstation in the NOW crashes, any other can take its
+	// place", and the crashed one returns after reboot.
+	RejoinOnHeartbeat RecoverPolicy = iota + 1
+	// NeverRejoin keeps a crashed workstation out of the census forever
+	// (the pre-recovery behaviour, kept testable as an ablation).
+	NeverRejoin
+)
+
+// String names the policy.
+func (p RecoverPolicy) String() string {
+	switch p {
+	case RejoinOnHeartbeat:
+		return "rejoin-on-heartbeat"
+	case NeverRejoin:
+		return "never-rejoin"
+	default:
+		return fmt.Sprintf("recover-policy(%d)", int(p))
+	}
+}
+
 // String names the policy.
 func (p RecruitPolicy) String() string {
 	switch p {
@@ -101,6 +128,10 @@ type Config struct {
 	SaveRestore bool
 	// Policy is the user-return policy.
 	Policy RecruitPolicy
+	// Recover is the census re-admission policy for workstations that
+	// crash and later recover (see Cluster.Recover). Zero means
+	// RejoinOnHeartbeat.
+	Recover RecoverPolicy
 	// CheckpointInterval is how often each guest process checkpoints its
 	// image (enabling restart after a crash).
 	CheckpointInterval sim.Duration
@@ -138,6 +169,7 @@ func DefaultConfig(workstations int) Config {
 		UserImageBytes:         64 << 20,
 		SaveRestore:            true,
 		Policy:                 MigrateOnReturn,
+		Recover:                RejoinOnHeartbeat,
 		MaxEvictionsPerUserDay: 4,
 		CheckpointInterval:     10 * sim.Minute,
 		BarrierOverhead:        50 * sim.Microsecond,
@@ -186,6 +218,9 @@ func New(e *sim.Engine, cfg Config) (*Cluster, error) {
 	if cfg.Policy == 0 {
 		cfg.Policy = MigrateOnReturn
 	}
+	if cfg.Recover == 0 {
+		cfg.Recover = RejoinOnHeartbeat
+	}
 	if cfg.CheckpointInterval <= 0 {
 		cfg.CheckpointInterval = 10 * sim.Minute
 	}
@@ -225,6 +260,48 @@ func (c *Cluster) Crash(ws int) {
 	c.Daemons[ws].crashed = true
 	c.EPs[ws].Detach()
 	c.Master.killProcsOn(ws)
+}
+
+// Recover reboots a crashed workstation ws: its endpoint reattaches to
+// the fabric and its daemon restarts with fresh console state (no user
+// activity, no saved image — a reboot loses local state; anything the
+// node held for others lives on, because it was parked elsewhere). The
+// master re-admits the machine to the census when the restarted
+// daemon's first heartbeat arrives, unless Cfg.Recover is NeverRejoin.
+// Recovering a workstation that never crashed is a no-op.
+func (c *Cluster) Recover(ws int) {
+	if ws <= 0 || ws >= len(c.EPs) {
+		return
+	}
+	d := c.Daemons[ws]
+	if d == nil || !d.crashed {
+		return
+	}
+	// If the master had not yet noticed the crash (recovery inside the
+	// heartbeat deadline), its census still shows the dead guest; the
+	// guest's processes died with the node, so the job must restart from
+	// checkpoint now — heartbeats resuming would otherwise mask the
+	// crash and strand the job forever.
+	if g := c.Master.ws[ws].guest; g != nil && g.killed {
+		c.Master.ws[ws].guest = nil
+		c.Master.restartJob(g.job)
+	}
+	d.crashed = false
+	d.userActive = false
+	d.imageSaved = false
+	d.seq++
+	d.idleTimer.Stop()
+	c.EPs[ws].Reattach()
+	c.Eng.Spawn(fmt.Sprintf("glunix/daemon%d", ws), d.heartbeatLoop)
+}
+
+// Up reports whether the master's census currently lists workstation
+// ws as up (it may lag a crash by the heartbeat deadline).
+func (c *Cluster) Up(ws int) bool {
+	if ws <= 0 || ws >= len(c.Master.ws) {
+		return false
+	}
+	return c.Master.ws[ws].up
 }
 
 // transferBulk streams n bytes from the system endpoint of src to dst in

@@ -34,6 +34,7 @@ type MasterStats struct {
 	Evictions     int64 // user returned to a recruited machine
 	Restarts      int64 // job restarts from checkpoint (crash or policy)
 	NodesDown     int64
+	Rejoins       int64        // recovered workstations re-admitted to the census
 	UserDelays    stats.Sample // seconds each returning user waited for their machine
 	StalledEvicts int64        // evictions that had to wait for an idle target
 	UserDisturbed int64        // IgnoreUser policy: user shared with a guest
@@ -227,7 +228,22 @@ func (m *Master) onHeartbeat(p *sim.Proc, msg am.Msg) (any, int) {
 	if !ok || ws <= 0 || ws >= len(m.ws) {
 		return nil, 0
 	}
-	m.ws[ws].lastHB = m.c.Eng.Now()
+	s := &m.ws[ws]
+	if !s.up {
+		// A heartbeat from a machine we declared down means it rebooted
+		// (Cluster.Recover). Re-admit it per policy: fresh console state,
+		// no guest, no saved image — recruitable again.
+		if m.c.Cfg.Recover == NeverRejoin {
+			return nil, 0
+		}
+		s.up = true
+		s.userBusy = false
+		s.guest = nil
+		s.imageSaved = false
+		m.st.Rejoins++
+		m.work.Broadcast()
+	}
+	s.lastHB = m.c.Eng.Now()
 	return nil, 0
 }
 

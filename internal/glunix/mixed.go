@@ -28,10 +28,22 @@ type MixedResult struct {
 // skipped (counted in JobsTotal but never completed).
 func RunMixed(e *sim.Engine, cfg Config, activity *trace.ActivityTrace,
 	jobs []trace.ParallelJob, horizon sim.Time) (MixedResult, error) {
+	return RunMixedWith(e, cfg, activity, jobs, horizon, nil)
+}
+
+// RunMixedWith is RunMixed with a wiring hook: wire (when non-nil) runs
+// after the cluster is built but before the simulation starts, so a
+// caller can attach extra machinery — a fault injector, additional
+// workloads on the same engine — to the live cluster.
+func RunMixedWith(e *sim.Engine, cfg Config, activity *trace.ActivityTrace,
+	jobs []trace.ParallelJob, horizon sim.Time, wire func(*Cluster)) (MixedResult, error) {
 
 	c, err := New(e, cfg)
 	if err != nil {
 		return MixedResult{}, err
+	}
+	if wire != nil {
+		wire(c)
 	}
 	// Feed user activity into the daemons.
 	if activity != nil {

@@ -25,6 +25,7 @@ type clusterMetrics struct {
 //	glunix.evictions.stalled     evictions that waited for an idle target (sampled)
 //	glunix.restarts              job restarts from checkpoint (sampled)
 //	glunix.nodes.down            workstations declared down (sampled)
+//	glunix.rejoins               recovered workstations re-admitted (sampled)
 //	glunix.user.disturbed        IgnoreUser policy: user shared machine (sampled)
 //	glunix.image.saves           user images parked on buddies (sampled)
 //	glunix.image.restores        user images restored on return (sampled)
@@ -59,6 +60,7 @@ func (c *Cluster) Instrument(r *obs.Registry) {
 		{"glunix.evictions.stalled", func(s *MasterStats) int64 { return s.StalledEvicts }},
 		{"glunix.restarts", func(s *MasterStats) int64 { return s.Restarts }},
 		{"glunix.nodes.down", func(s *MasterStats) int64 { return s.NodesDown }},
+		{"glunix.rejoins", func(s *MasterStats) int64 { return s.Rejoins }},
 		{"glunix.user.disturbed", func(s *MasterStats) int64 { return s.UserDisturbed }},
 		{"glunix.image.saves", func(s *MasterStats) int64 { return s.ImageSaves }},
 		{"glunix.image.restores", func(s *MasterStats) int64 { return s.ImageRestores }},

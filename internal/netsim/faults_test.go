@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/nowproject/now/internal/obs"
+	"github.com/nowproject/now/internal/sim"
+)
+
+// TestPartitionDropsAndAccounts checks that packets crossing a
+// partition boundary disappear and are counted as injected drops in
+// both Stats and the obs counters, and that Heal restores delivery.
+func TestPartitionDropsAndAccounts(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	reg := obs.NewRegistry()
+	e.Observe(reg)
+	f := newTestFabric(t, e, ATM155(4))
+	f.Instrument(reg)
+	delivered := 0
+	f.SetDelivery(1, func(pkt *Packet) { delivered++ })
+	f.SetDelivery(3, func(pkt *Packet) { delivered++ })
+
+	f.Partition([]NodeID{2, 3})
+	if !f.Partitioned(0, 3) || f.Partitioned(2, 3) || f.Partitioned(0, 1) {
+		t.Fatal("partition membership wrong")
+	}
+	e.Spawn("tx", func(p *sim.Proc) {
+		f.Send(p, &Packet{Src: 0, Dst: 3, Bytes: 100}) // crosses the cut
+		f.Send(p, &Packet{Src: 0, Dst: 1, Bytes: 100}) // same side
+		f.Send(p, &Packet{Src: 2, Dst: 3, Bytes: 100}) // same side
+		p.Sleep(sim.Second)
+		f.Heal()
+		f.Send(p, &Packet{Src: 0, Dst: 3, Bytes: 100}) // healed
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered %d packets, want 3", delivered)
+	}
+	st := f.Stats()
+	if st.Drops != 1 || st.InjectedDrops != 1 {
+		t.Fatalf("stats = %+v, want 1 injected drop", st)
+	}
+	if v, _ := reg.CounterValue("net.drops"); v != 1 {
+		t.Fatalf("net.drops = %d, want 1", v)
+	}
+	if v, _ := reg.CounterValue("net.drops.injected"); v != 1 {
+		t.Fatalf("net.drops.injected = %d, want 1", v)
+	}
+}
+
+// TestLinkFaultLossAccounting injects a fully lossy link: every packet
+// on it is an injected drop, other links are untouched, and
+// ClearLinkFault restores the link.
+func TestLinkFaultLossAccounting(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	f := newTestFabric(t, e, ATM155(3))
+	delivered := map[NodeID]int{}
+	f.SetDelivery(1, func(pkt *Packet) { delivered[1]++ })
+	f.SetDelivery(2, func(pkt *Packet) { delivered[2]++ })
+
+	f.SetLinkFault(0, 1, 1.0, 0) // loss=1: deterministic drop
+	e.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			f.Send(p, &Packet{Src: 0, Dst: 1, Bytes: 64})
+			f.Send(p, &Packet{Src: 0, Dst: 2, Bytes: 64})
+		}
+		p.Sleep(sim.Second)
+		f.ClearLinkFault(0, 1)
+		f.Send(p, &Packet{Src: 0, Dst: 1, Bytes: 64})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered[2] != 5 {
+		t.Fatalf("healthy link delivered %d/5", delivered[2])
+	}
+	if delivered[1] != 1 {
+		t.Fatalf("faulted link delivered %d, want only the post-clear packet", delivered[1])
+	}
+	if st := f.Stats(); st.InjectedDrops != 5 {
+		t.Fatalf("InjectedDrops = %d, want 5", st.InjectedDrops)
+	}
+}
+
+// TestLinkFaultDelayIsAdded checks the delay half of a link fault: the
+// packet arrives exactly the injected delay later, and the fault is
+// undirected.
+func TestLinkFaultDelayIsAdded(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	f := newTestFabric(t, e, ATM155(2))
+	var arrivals []sim.Time
+	var sentAt sim.Time
+	f.SetDelivery(1, func(pkt *Packet) { arrivals = append(arrivals, e.Now()) })
+	e.Spawn("tx", func(p *sim.Proc) {
+		f.Send(p, &Packet{Src: 0, Dst: 1, Bytes: 1000}) // healthy baseline
+		p.Sleep(sim.Second)
+		f.SetLinkFault(1, 0, 0, 5*sim.Millisecond) // set via (1,0): undirected
+		sentAt = p.Now()
+		f.Send(p, &Packet{Src: 0, Dst: 1, Bytes: 1000})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(arrivals))
+	}
+	// Same packet on the same idle link: delivery cost matches the
+	// healthy baseline plus exactly the injected delay.
+	want := sentAt + arrivals[0] + 5*sim.Millisecond
+	if arrivals[1] != want {
+		t.Fatalf("slowed packet at %v, want %v", arrivals[1], want)
+	}
+}

@@ -82,6 +82,10 @@ type Stats struct {
 	Bytes     int64
 	Drops     int64
 	SelfSends int64
+	// InjectedDrops is the subset of Drops caused by injected faults
+	// (partitions and per-link loss windows) rather than the fabric's
+	// configured background LossProb.
+	InjectedDrops int64
 }
 
 // Fabric is a simulated LAN. Create one with New, register per-node
@@ -95,6 +99,24 @@ type Fabric struct {
 	handlers map[portKey]Delivery
 	stats    Stats
 	m        *fabricMetrics // nil unless Instrument attached a registry
+
+	// Injected fault state (internal/faults drives these; all nil/empty
+	// on a healthy fabric, so the send path pays only nil checks).
+	group     []int                    // partition group per node; nil = unpartitioned
+	linkLoss  map[linkKey]float64      // per-link injected loss probability
+	linkDelay map[linkKey]sim.Duration // per-link injected extra latency
+}
+
+// linkKey names an undirected node pair for link-fault state.
+type linkKey struct {
+	a, b NodeID // a < b
+}
+
+func mkLinkKey(x, y NodeID) linkKey {
+	if x > y {
+		x, y = y, x
+	}
+	return linkKey{a: x, b: y}
 }
 
 // portKey addresses one endpoint: a node and a port on it.
@@ -193,6 +215,96 @@ func (f *Fabric) Send(p *sim.Proc, pkt *Packet) {
 	f.arrive(done, pkt)
 }
 
+// Partition splits the fabric into groups of nodes: nodes listed in
+// sets[i] join group i+1, unlisted nodes stay in group 0, and packets
+// crossing a group boundary are dropped (counted in Stats.Drops,
+// Stats.InjectedDrops and the net.drops/net.drops.injected counters).
+// Self-sends bypass the wire and are never partitioned. A new call
+// replaces the previous partition; Heal removes it.
+func (f *Fabric) Partition(sets ...[]NodeID) {
+	f.group = make([]int, f.cfg.Nodes)
+	for i, set := range sets {
+		for _, n := range set {
+			if n >= 0 && int(n) < f.cfg.Nodes {
+				f.group[n] = i + 1
+			}
+		}
+	}
+}
+
+// Heal removes the current partition; all nodes can reach each other
+// again (per-link faults set with SetLinkFault are unaffected).
+func (f *Fabric) Heal() { f.group = nil }
+
+// Partitioned reports whether a packet from a to b would be dropped by
+// the current partition.
+func (f *Fabric) Partitioned(a, b NodeID) bool {
+	if f.group == nil || a == b {
+		return false
+	}
+	if a < 0 || b < 0 || int(a) >= len(f.group) || int(b) >= len(f.group) {
+		return false
+	}
+	return f.group[a] != f.group[b]
+}
+
+// SetLinkFault degrades the (undirected) link between a and b: packets
+// between them are dropped with probability loss and delivered delay
+// later than normal. A second call replaces the previous fault on that
+// link; ClearLinkFault heals it.
+func (f *Fabric) SetLinkFault(a, b NodeID, loss float64, delay sim.Duration) {
+	k := mkLinkKey(a, b)
+	if loss > 0 {
+		if f.linkLoss == nil {
+			f.linkLoss = make(map[linkKey]float64)
+		}
+		f.linkLoss[k] = loss
+	} else if f.linkLoss != nil {
+		delete(f.linkLoss, k)
+	}
+	if delay > 0 {
+		if f.linkDelay == nil {
+			f.linkDelay = make(map[linkKey]sim.Duration)
+		}
+		f.linkDelay[k] = delay
+	} else if f.linkDelay != nil {
+		delete(f.linkDelay, k)
+	}
+}
+
+// ClearLinkFault removes injected loss and delay from the link between
+// a and b.
+func (f *Fabric) ClearLinkFault(a, b NodeID) {
+	k := mkLinkKey(a, b)
+	delete(f.linkLoss, k)
+	delete(f.linkDelay, k)
+}
+
+// injectedDrop decides whether fault state swallows pkt: a partition
+// boundary drops deterministically, a faulted link drops with its
+// configured probability (drawn from the engine RNG, so seeded runs
+// stay reproducible).
+func (f *Fabric) injectedDrop(pkt *Packet) bool {
+	if f.Partitioned(pkt.Src, pkt.Dst) {
+		return true
+	}
+	if f.linkLoss != nil {
+		if p, ok := f.linkLoss[mkLinkKey(pkt.Src, pkt.Dst)]; ok && f.eng.Rand().Float64() < p {
+			return true
+		}
+	}
+	return false
+}
+
+// injectedDelay reports the extra delivery latency injected on pkt's
+// link (zero on a healthy link).
+func (f *Fabric) injectedDelay(pkt *Packet) sim.Duration {
+	if f.linkDelay == nil {
+		return 0
+	}
+	return f.linkDelay[mkLinkKey(pkt.Src, pkt.Dst)]
+}
+
 // arrive finalises a transmission: accounting, loss injection, delivery.
 func (f *Fabric) arrive(at sim.Time, pkt *Packet) {
 	f.stats.Packets++
@@ -201,6 +313,15 @@ func (f *Fabric) arrive(at sim.Time, pkt *Packet) {
 		m.packets.Inc()
 		m.bytes.Add(int64(pkt.Bytes))
 	}
+	if f.injectedDrop(pkt) {
+		f.stats.Drops++
+		f.stats.InjectedDrops++
+		if m := f.m; m != nil {
+			m.drops.Inc()
+			m.injDrops.Inc()
+		}
+		return
+	}
 	if f.cfg.LossProb > 0 && f.eng.Rand().Float64() < f.cfg.LossProb {
 		f.stats.Drops++
 		if m := f.m; m != nil {
@@ -208,7 +329,7 @@ func (f *Fabric) arrive(at sim.Time, pkt *Packet) {
 		}
 		return
 	}
-	f.deliverAt(at, pkt)
+	f.deliverAt(at+f.injectedDelay(pkt), pkt)
 }
 
 func (f *Fabric) deliverAt(at sim.Time, pkt *Packet) {

@@ -8,6 +8,7 @@ type fabricMetrics struct {
 	packets   *obs.Counter   // net.packets
 	bytes     *obs.Counter   // net.bytes
 	drops     *obs.Counter   // net.drops
+	injDrops  *obs.Counter   // net.drops.injected
 	selfSends *obs.Counter   // net.sends.self
 	latency   *obs.Histogram // net.am.latency.ns
 }
@@ -20,7 +21,9 @@ type fabricMetrics struct {
 //
 //	net.packets              packets that finished transmission
 //	net.bytes                wire bytes carried (headers included)
-//	net.drops                packets lost to injected loss
+//	net.drops                packets lost (background loss + injected faults)
+//	net.drops.injected       subset of net.drops caused by injected
+//	                         partitions and link faults (internal/faults)
 //	net.sends.self           sends where src == dst (wire bypassed)
 //	net.am.latency.ns        send-to-delivery latency histogram
 //	net.medium.util.ppm      shared-medium utilization, ppm (sampled)
@@ -34,6 +37,7 @@ func (f *Fabric) Instrument(r *obs.Registry) {
 		packets:   r.Counter("net.packets"),
 		bytes:     r.Counter("net.bytes"),
 		drops:     r.Counter("net.drops"),
+		injDrops:  r.Counter("net.drops.injected"),
 		selfSends: r.Counter("net.sends.self"),
 		latency:   r.Histogram("net.am.latency.ns", obs.DurationBuckets),
 	}

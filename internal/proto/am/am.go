@@ -280,6 +280,23 @@ func (ep *Endpoint) Detach() {
 	}
 }
 
+// Reattach reconnects a detached endpoint — a crashed node rebooting
+// and rejoining the fabric. Delivery resumes and new sends transmit
+// again. State that died with the node stays dead: pending sends were
+// already failed by Detach, and the sequence counter continues from
+// where it left off, so peers' duplicate-suppression caches remain
+// correct across the outage.
+func (ep *Endpoint) Reattach() {
+	if !ep.detached {
+		return
+	}
+	ep.detached = false
+	ep.fab.SetDeliveryPort(ep.id, ep.cfg.Port, ep.deliver)
+}
+
+// Detached reports whether the endpoint is currently detached.
+func (ep *Endpoint) Detached() bool { return ep.detached }
+
 // Stats returns a snapshot of counters.
 func (ep *Endpoint) Stats() Stats { return ep.stats }
 

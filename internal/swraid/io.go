@@ -2,6 +2,7 @@ package swraid
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/nowproject/now/internal/netsim"
 	"github.com/nowproject/now/internal/sim"
@@ -194,10 +195,14 @@ func (a *Array) writeRAID1(p *sim.Proc, start int64, data []byte, count int) err
 		// stripe.
 		for _, tg := range []target{{node, off}, {mirror, mirrorOffset(off)}} {
 			tg := tg
+			stripe := off / int64(a.cfg.ChunkBytes)
 			ops = append(ops, func(wp *sim.Proc) error {
 				err := a.writeChunk(wp, tg.dst, tg.off, chunk)
 				if err != nil && !a.dead[tg.dst] {
 					return err
+				}
+				if a.dead[tg.dst] {
+					a.markRebuildDirty(stripe)
 				}
 				return nil // a dead replica is tolerable; data survives on the other
 			})
@@ -264,7 +269,11 @@ func (a *Array) writeStripe(p *sim.Proc, stripe int64, logicals []int64, chunks 
 			chunk := chunks[i]
 			ops = append(ops, func(wp *sim.Proc) error { return a.writeChunk(wp, node, noff, chunk) })
 		}
-		return firstError(a.parallel(p, ops))
+		if err := firstError(a.parallel(p, ops)); err != nil {
+			return err
+		}
+		a.markRebuildDirty(stripe)
+		return nil
 	}
 
 	parity := make([]byte, cb)
@@ -322,7 +331,23 @@ func (a *Array) writeStripe(p *sim.Proc, stripe int64, logicals []int64, chunks 
 		ops = append(ops, func(wp *sim.Proc) error { return a.writeChunk(wp, node, noff, chunk) })
 	}
 	ops = append(ops, func(wp *sim.Proc) error { return a.writeChunk(wp, parityNode, off, parity) })
-	return firstError(a.parallel(p, ops))
+	if err := firstError(a.parallel(p, ops)); err != nil {
+		return err
+	}
+	if targetDead {
+		a.markRebuildDirty(stripe)
+	}
+	return nil
+}
+
+// markRebuildDirty records, while a rebuild is in flight, that a
+// degraded write landed on stripe: its dead chunk now lives only in the
+// (new) parity, so the rebuild must reconstruct that stripe again even
+// if its copy pass already visited it.
+func (a *Array) markRebuildDirty(stripe int64) {
+	if a.rebuildDirty != nil {
+		a.rebuildDirty[stripe] = true
+	}
 }
 
 // Rebuild reconstructs every stripe's lost chunk onto the replacement
@@ -349,8 +374,11 @@ func (a *Array) Rebuild(p *sim.Proc, failed, replacement netsim.NodeID, stripes 
 	if idx < 0 {
 		return fmt.Errorf("swraid: store %d not in array", failed)
 	}
+	if !a.dead[failed] {
+		return fmt.Errorf("swraid: store %d: %w", failed, ErrNotDegraded)
+	}
 	cb := int64(a.cfg.ChunkBytes)
-	for s := int64(0); s < stripes; s++ {
+	copyStripe := func(s int64) error {
 		off := s * cb
 		var data []byte
 		var err error
@@ -379,6 +407,34 @@ func (a *Array) Rebuild(p *sim.Proc, failed, replacement netsim.NodeID, stripes 
 				return err
 			}
 			if err := a.writeChunk(p, replacement, mirrorOffset(off), data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	a.rebuildDirty = make(map[int64]bool)
+	defer func() { a.rebuildDirty = nil }()
+	for s := int64(0); s < stripes; s++ {
+		if err := copyStripe(s); err != nil {
+			return err
+		}
+	}
+	// Catch-up: writes that landed while the copy pass ran left their
+	// dead chunk in parity only — the stripe on the replacement is
+	// stale. Re-reconstruct those stripes (repeatedly: a catch-up pass
+	// can itself be overtaken by new writes) before swapping the layout.
+	for len(a.rebuildDirty) > 0 {
+		dirty := make([]int64, 0, len(a.rebuildDirty))
+		for s := range a.rebuildDirty {
+			dirty = append(dirty, s)
+		}
+		sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+		a.rebuildDirty = make(map[int64]bool)
+		if sp != 0 {
+			a.obs.Annotate(sp, fmt.Sprintf("catch-up: %d stripe(s) dirtied during copy", len(dirty)))
+		}
+		for _, s := range dirty {
+			if err := copyStripe(s); err != nil {
 				return err
 			}
 		}

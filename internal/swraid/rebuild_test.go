@@ -1,0 +1,147 @@
+package swraid
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/nowproject/now/internal/netsim"
+	"github.com/nowproject/now/internal/sim"
+)
+
+// TestRebuildHealthyArrayIsTypedError: asking to rebuild a store that
+// was never marked failed must fail with ErrNotDegraded, so callers
+// (the fault injector among them) can tell a mis-scripted plan from a
+// real rebuild failure.
+func TestRebuildHealthyArrayIsTypedError(t *testing.T) {
+	r := newRaidRig(t, RAID5, 4, 512)
+	r.run(t, func(p *sim.Proc) {
+		err := r.arr.Rebuild(p, r.eps[2].ID(), r.eps[3].ID(), 1)
+		if err == nil {
+			t.Fatal("rebuild of a healthy store succeeded")
+		}
+		if !errors.Is(err, ErrNotDegraded) {
+			t.Fatalf("error %v is not ErrNotDegraded", err)
+		}
+	})
+}
+
+// TestRebuildWhileDegradedWritesInterleave runs a writer concurrently
+// with the rebuild: degraded writes keep landing while reconstruction
+// streams onto the spare, and every write — before, during, after —
+// must read back correctly once the array is healthy again.
+func TestRebuildWhileDegradedWritesInterleave(t *testing.T) {
+	// 5 endpoints: stores 1..4 in the array, 5 is the spare.
+	r := newRaidRig(t, RAID5, 5, 512)
+	ids := []netsim.NodeID{r.eps[1].ID(), r.eps[2].ID(), r.eps[3].ID(), r.eps[4].ID()}
+	arr, err := NewArray(r.eps[0], Config{Level: RAID5, ChunkBytes: 512, Stores: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stripes = 6
+	nchunks := int64(stripes) * int64(arr.dataPerStripe())
+	want := pattern(int(nchunks), 512, 11)
+	initial := append([]byte(nil), want...)
+	spare := r.eps[5].ID()
+	failed := r.eps[2].ID()
+
+	// degraded gates the writer until the store has failed, so its
+	// writes genuinely interleave with the rebuild rather than with the
+	// initial data load.
+	degraded := sim.NewWaitGroup(r.e, "degraded")
+	degraded.Add(1)
+	var rebuildDone, writesDone sim.Time
+	r.e.Spawn("writer", func(p *sim.Proc) {
+		degraded.Wait(p)
+		for i := int64(0); i < nchunks; i += 6 {
+			chunk := pattern(1, 512, byte(40+i))
+			if err := arr.WriteChunks(p, i, chunk); err != nil {
+				t.Errorf("degraded write %d: %v", i, err)
+				return
+			}
+			copy(want[i*512:(i+1)*512], chunk)
+		}
+		writesDone = p.Now()
+	})
+	r.run(t, func(p *sim.Proc) {
+		if err := arr.WriteChunks(p, 0, initial); err != nil {
+			t.Fatal(err)
+		}
+		r.eps[2].Detach()
+		arr.MarkFailed(failed)
+		degraded.Done()
+		p.Yield()
+		if err := arr.Rebuild(p, failed, spare, stripes); err != nil {
+			t.Fatal(err)
+		}
+		rebuildDone = p.Now()
+		// Drain the writer, then verify everything reads back exactly.
+		p.Sleep(sim.Second)
+		got, err := arr.ReadChunks(p, 0, int(nchunks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("data wrong after interleaved rebuild and writes")
+		}
+		_, _, degBefore := arr.Stats()
+		if _, err := arr.ReadChunks(p, 0, int(nchunks)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, degAfter := arr.Stats(); degAfter != degBefore {
+			t.Fatal("reads still degraded after rebuild")
+		}
+	})
+	if writesDone == 0 || rebuildDone == 0 {
+		t.Fatal("writer or rebuild never finished")
+	}
+	// The point of the test is the overlap: the degraded writes must
+	// have finished inside the rebuild window (deterministic per seed;
+	// retune the write count if the timings ever change).
+	if writesDone >= rebuildDone {
+		t.Fatalf("writes (%v) outlasted the rebuild (%v): no interleaving exercised",
+			writesDone, rebuildDone)
+	}
+}
+
+// TestAdoptReplacementMatchesRebuiltView: a second view of the same
+// physical stores adopts the rebuilt layout without copying, and reads
+// the writer's data through the replacement.
+func TestAdoptReplacementMatchesRebuiltView(t *testing.T) {
+	r := newRaidRig(t, RAID5, 5, 512)
+	ids := []netsim.NodeID{r.eps[1].ID(), r.eps[2].ID(), r.eps[3].ID(), r.eps[4].ID()}
+	mk := func() *Array {
+		arr, err := NewArray(r.eps[0], Config{Level: RAID5, ChunkBytes: 512, Stores: append([]netsim.NodeID(nil), ids...)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arr
+	}
+	writerView, readerView := mk(), mk()
+	data := pattern(9, 512, 3)
+	failed, spare := r.eps[2].ID(), r.eps[5].ID()
+	r.run(t, func(p *sim.Proc) {
+		if err := writerView.WriteChunks(p, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		r.eps[2].Detach()
+		writerView.MarkFailed(failed)
+		readerView.MarkFailed(failed)
+		if err := writerView.Rebuild(p, failed, spare, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := readerView.AdoptReplacement(failed, spare); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readerView.ReadChunks(p, 0, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("adopted view reads wrong data")
+		}
+		if err := readerView.AdoptReplacement(failed, spare); err == nil {
+			t.Fatal("second adoption of the same store succeeded")
+		}
+	})
+}

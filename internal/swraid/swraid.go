@@ -58,6 +58,13 @@ const (
 // than the redundancy level tolerates.
 var ErrDataLost = errors.New("swraid: data lost (insufficient redundancy)")
 
+// ErrNotDegraded is returned by Rebuild when the store named as failed
+// is not actually marked failed: "rebuilding" from an array that still
+// trusts that store would copy healthy data while racing live writes to
+// it — almost certainly a wrong store id. Callers must MarkFailed (or
+// let a timeout do it) before rebuilding.
+var ErrNotDegraded = errors.New("swraid: rebuild source not marked failed")
+
 // Store serves chunk reads and writes from one workstation's disk. All
 // storage nodes of an array run a Store.
 type Store struct {
@@ -126,6 +133,13 @@ type Array struct {
 	ep   *am.Endpoint
 	cfg  Config
 	dead map[netsim.NodeID]bool
+
+	// rebuildDirty is non-nil only while a Rebuild is in flight: it
+	// collects stripes that degraded writes touched after the copy pass
+	// may already have passed them, so the rebuild can re-reconstruct
+	// them before swapping the layout (a write-during-rebuild otherwise
+	// survives only in parity, which the swapped layout no longer reads).
+	rebuildDirty map[int64]bool
 
 	reads, writes, degraded int64
 

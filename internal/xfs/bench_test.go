@@ -1,0 +1,88 @@
+package xfs
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+// BenchmarkXFSReadDegraded measures cold-read bandwidth through the
+// striped array before and after a storage-node crash, reporting both
+// in virtual-time MB/s. This is the degraded-mode figure the fault
+// studies lean on: the gap between healthy-MBps and degraded-MBps is
+// the price of reconstruct-reads while a rebuild is pending. Several
+// parallel reader streams keep the stores throughput-bound — a single
+// latency-bound stream would hide the penalty (the reconstruct fans
+// out across survivors and can even beat a lone single-store read).
+func BenchmarkXFSReadDegraded(b *testing.B) {
+	const (
+		nodes     = 8
+		blockSize = 4096
+		blocks    = 64
+		streams   = 4
+	)
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine(1)
+		cfg := DefaultConfig(nodes)
+		cfg.BlockBytes = blockSize
+		// Tiny caches: reads must miss locally and in peers, so the
+		// bench measures the array path, not cooperative caching.
+		cfg.ClientCacheBlocks = 4
+		sys, err := New(e, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var healthyMBps, degradedMBps float64
+		mbps := func(nbytes int64, d sim.Duration) float64 {
+			return float64(nbytes) / 1e6 / (float64(d) / float64(sim.Second))
+		}
+		e.Spawn("bench", func(p *sim.Proc) {
+			w := sys.Client(0)
+			data := fill(blockSize, 7)
+			for blk := 0; blk < blocks; blk++ {
+				if err := w.Write(p, 1, uint32(blk), data); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if err := w.Sync(p); err != nil {
+				b.Error(err)
+				return
+			}
+			// read runs one full-file pass per stream concurrently and
+			// returns the aggregate wall (virtual) time.
+			read := func(name string) sim.Duration {
+				wg := sim.NewWaitGroup(e, name)
+				wg.Add(streams)
+				t0 := p.Now()
+				for r := 0; r < streams; r++ {
+					c := sys.Client(2 + r)
+					e.Spawn(name, func(rp *sim.Proc) {
+						defer wg.Done()
+						for blk := 0; blk < blocks; blk++ {
+							if _, err := c.Read(rp, 1, uint32(blk)); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					})
+				}
+				wg.Wait(p)
+				return sim.Duration(p.Now() - t0)
+			}
+			healthyMBps = mbps(streams*blocks*blockSize, read("healthy"))
+			sys.CrashStorage(nodes - 1)
+			degradedMBps = mbps(streams*blocks*blockSize, read("degraded"))
+			e.Stop()
+		})
+		if err := e.Run(); err != nil && !errors.Is(err, sim.ErrStopped) {
+			b.Fatal(err)
+		}
+		e.Close()
+		if i == 0 {
+			b.ReportMetric(healthyMBps, "healthy-MBps")
+			b.ReportMetric(degradedMBps, "degraded-MBps")
+		}
+	}
+}

@@ -126,9 +126,9 @@ type manager struct {
 	sys      *System
 	idx      int // manager index (not node id)
 	node     int // current hosting node
+	standby  int // node holding this manager's metadata replica
 	meta     map[BlockKey]*blockMeta
 	nextAddr int64
-	// replica of this manager's metadata lives on the standby.
 }
 
 // System is one xFS installation.
@@ -143,6 +143,9 @@ type System struct {
 	// replicas[i] is the standby copy of manager i's metadata, hosted on
 	// the standby node.
 	replicas []map[BlockKey]*blockMeta
+	// down marks crashed nodes: never chosen as a manager host or
+	// standby again.
+	down map[int]bool
 
 	stats Stats
 	obs   *obs.Registry // nil unless Instrument attached a registry
@@ -212,10 +215,12 @@ func New(e *sim.Engine, cfg Config) (*System, error) {
 		c.register()
 		sys.clients = append(sys.clients, c)
 	}
+	sys.down = make(map[int]bool)
 	sys.managers = make([]*manager, cfg.Managers)
 	sys.replicas = make([]map[BlockKey]*blockMeta, cfg.Managers)
 	for i := 0; i < cfg.Managers; i++ {
-		sys.managers[i] = &manager{sys: sys, idx: i, node: i, meta: make(map[BlockKey]*blockMeta)}
+		sys.managers[i] = &manager{sys: sys, idx: i, node: i,
+			standby: (i + 1) % cfg.Nodes, meta: make(map[BlockKey]*blockMeta)}
 		sys.replicas[i] = make(map[BlockKey]*blockMeta)
 	}
 	sys.registerManagerHandlers()
@@ -228,15 +233,72 @@ func (sys *System) Client(i int) *Client { return sys.clients[i] }
 // Stats returns the accumulated counters.
 func (sys *System) Stats() Stats { return sys.stats }
 
+// Nodes returns the number of participating workstations.
+func (sys *System) Nodes() int { return sys.cfg.Nodes }
+
+// Managers returns the size of the manager set.
+func (sys *System) Managers() int { return len(sys.managers) }
+
+// ManagerNode returns the node currently hosting manager idx (it moves
+// on failover).
+func (sys *System) ManagerNode(idx int) int {
+	if idx < 0 || idx >= len(sys.managers) {
+		return -1
+	}
+	return sys.managers[idx].node
+}
+
+// SpareNodeIDs lists the configured hot-spare nodes: storage servers
+// outside the initial stripe group, available to RecoverStorage.
+func (sys *System) SpareNodeIDs() []int {
+	ids := make([]int, 0, sys.cfg.SpareNodes)
+	for i := sys.cfg.Nodes - sys.cfg.SpareNodes; i < sys.cfg.Nodes; i++ {
+		ids = append(ids, i)
+	}
+	return ids
+}
+
 // managerOf maps a file to its manager index (the manager map).
 func (sys *System) managerOf(f FileID) *manager {
 	return sys.managers[int(f)%sys.cfg.Managers]
 }
 
-// standbyNode returns where manager m's replica lives: the next node
-// after the manager's host.
+// standbyNode returns where manager m's replica lives. The standby is
+// initially the next node after the manager's host and is re-pointed
+// when either node crashes (see retargetStandbys).
 func (sys *System) standbyNode(m *manager) int {
-	return (m.node + 1) % sys.cfg.Nodes
+	return m.standby
+}
+
+// nextAlive returns the first node after n (cyclically) that is not
+// down and not except — the standby/failover placement rule.
+func (sys *System) nextAlive(n, except int) int {
+	for i := 1; i <= sys.cfg.Nodes; i++ {
+		c := (n + i) % sys.cfg.Nodes
+		if !sys.down[c] && c != except {
+			return c
+		}
+	}
+	return n
+}
+
+// retargetStandbys gives every manager whose standby has crashed a new
+// standby and re-registers the replication handlers. The replica map
+// itself lives in sys.replicas (keyed by manager), so the re-point
+// models the surviving manager re-seeding a new standby; the bulk
+// metadata copy is not charged to the network — entries re-replicate
+// incrementally as they are next written.
+func (sys *System) retargetStandbys() {
+	changed := false
+	for _, m := range sys.managers {
+		if sys.down[m.standby] {
+			m.standby = sys.nextAlive(m.standby, m.node)
+			changed = true
+		}
+	}
+	if changed {
+		sys.registerManagerHandlers()
+	}
 }
 
 // maxLogicalChunk returns an upper bound on allocated storage addresses
@@ -303,7 +365,9 @@ func (sys *System) RecoverStorage(p *sim.Proc, failed, spare int) error {
 
 // CrashStorage simulates the fail-stop crash of a (non-manager) node:
 // its endpoint detaches and every client's RAID view marks its store
-// failed, so subsequent reads reconstruct through redundancy.
+// failed, so subsequent reads reconstruct through redundancy. Managers
+// whose standby lived on the node pick a new one, and the dead node is
+// purged from block metadata (it holds no cached copies any more).
 func (sys *System) CrashStorage(node int) {
 	if node < 0 || node >= len(sys.eps) {
 		return
@@ -311,6 +375,22 @@ func (sys *System) CrashStorage(node int) {
 	sys.eps[node].Detach()
 	for _, c := range sys.clients {
 		c.array.MarkFailed(sys.eps[node].ID())
+	}
+	sys.down[node] = true
+	sys.purgeFromMeta(node)
+	sys.retargetStandbys()
+}
+
+// purgeFromMeta removes a dead node from every manager's block
+// metadata: it can hold no tokens or cached copies.
+func (sys *System) purgeFromMeta(dead int) {
+	for _, m := range sys.managers {
+		for _, bm := range m.meta {
+			delete(bm.readers, dead)
+			if bm.owner == dead {
+				bm.owner = -1
+			}
+		}
 	}
 }
 
@@ -325,18 +405,19 @@ func (sys *System) FailManager(p *sim.Proc, idx int) {
 	for _, c := range sys.clients {
 		c.array.MarkFailed(sys.eps[dead].ID())
 	}
-	// The standby adopts the replica and becomes the manager.
+	sys.down[dead] = true
+	// The standby adopts the replica and becomes the manager, then
+	// picks a fresh standby of its own.
 	m.node = sys.standbyNode(m)
+	m.standby = sys.nextAlive(m.node, m.node)
 	m.meta = sys.replicas[idx]
 	sys.replicas[idx] = make(map[BlockKey]*blockMeta)
-	// The dead node can no longer hold tokens or copies.
-	for _, bm := range m.meta {
-		delete(bm.readers, dead)
-		if bm.owner == dead {
-			bm.owner = -1
-		}
-	}
+	// The dead node can no longer hold tokens or copies, anywhere.
+	sys.purgeFromMeta(dead)
 	sys.stats.Failovers++
+	// Other managers may have had their standby on the dead node too;
+	// retargetStandbys re-registers all handlers.
+	sys.retargetStandbys()
 	sys.registerManagerHandlers()
 }
 

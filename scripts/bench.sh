@@ -20,6 +20,11 @@ sim_benches='BenchmarkEventThroughput$|BenchmarkProcSwitch$|BenchmarkResourceCon
 go test -run '^$' -bench "$sim_benches" -benchmem -benchtime "$benchtime" \
     ./internal/sim/ | tee "$raw"
 
+# Degraded-mode file-system bandwidth (virtual-time MB/s, healthy vs
+# post-crash reconstruct reads) — the fault studies' headline figure.
+go test -run '^$' -bench 'BenchmarkXFSReadDegraded$' -benchtime "$benchtime" \
+    ./internal/xfs/ | tee -a "$raw"
+
 if [ "${FULL:-0}" = "1" ]; then
     # One iteration of each experiment bench: regenerates every table
     # and figure once and reports the headline paper metrics.

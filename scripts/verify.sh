@@ -14,7 +14,12 @@ echo "== go test ./..."
 go test ./...
 echo "== go test -race ./internal/sim/..."
 go test -race -count=1 ./internal/sim/...
+echo "== go test -race ./internal/faults/..."
+go test -race -count=1 ./internal/faults/...
 echo "== observability golden determinism (byte-identical metrics across runs)"
 go test -count=1 -run 'TestMetricsGoldenDeterminism' ./cmd/nowsim/ >/dev/null
 go test -count=1 -run 'TestEngineMetricsDeterministic' ./internal/sim/ >/dev/null
+echo "== fault-plan golden determinism (same plan -> byte-identical exports)"
+go test -count=1 -run 'TestFaultedRunGoldenDeterminism' ./cmd/nowsim/ >/dev/null
+go test -count=1 -run 'TestInjectorDeterministicExport' ./internal/faults/ >/dev/null
 echo "verify: all checks passed"
