@@ -10,8 +10,8 @@
 //	nowbench -json        # machine-readable reports (scripts/bench.sh)
 //
 // Experiment ids follow DESIGN.md §3: T1 T2 T3 T4 F1 F2 F3 F4, the
-// prose claims E5 E6 E7 E8 E9 E10, and the fault-injection availability
-// study AV1 (docs/FAULTS.md).
+// prose claims E5 E6 E7 E8 E9 E10, the fault-injection availability
+// study AV1 (docs/FAULTS.md), and the collective scale study SC1.
 package main
 
 import (
@@ -125,6 +125,15 @@ func run(args []string) error {
 				cfg.ReadStreams = 2
 			}
 			r, _, err := experiments.FaultStudy(cfg)
+			return r, err
+		}},
+		{"SC1", func() (experiments.Report, error) {
+			cfg := experiments.DefaultScaleConfig()
+			if *quick {
+				cfg.Sizes = []int{32, 64, 128}
+				cfg.Barriers = 2
+			}
+			r, _, err := experiments.ScaleCollectives(cfg)
 			return r, err
 		}},
 	}

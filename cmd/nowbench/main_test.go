@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -42,6 +44,47 @@ func TestRunSubsetQuick(t *testing.T) {
 func TestRunAblationSelection(t *testing.T) {
 	if err := run([]string{"-quick", "-only", "A4"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestScaleStudyGoldenDeterminism is the SC1 golden: the collective
+// scale study, run twice through the full CLI path with metrics
+// export, must produce byte-identical report JSON and metrics files.
+func TestScaleStudyGoldenDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(n string) ([]byte, []byte) {
+		mpath := filepath.Join(dir, "sc"+n+".json")
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		runErr := run([]string{"-json", "-quick", "-only", "SC1", "-metrics", mpath})
+		w.Close()
+		os.Stdout = old
+		raw, _ := io.ReadAll(r)
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		mb, err := os.ReadFile(mpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, mb
+	}
+	r1, m1 := runOnce("1")
+	r2, m2 := runOnce("2")
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("SC1 report JSON is not byte-deterministic")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("SC1 metrics export is not byte-deterministic")
+	}
+	for _, want := range []string{`"collective.barriers"`, `"net.offered"`, `"net.delivered"`} {
+		if !bytes.Contains(m1, []byte(want)) {
+			t.Fatalf("SC1 metrics missing %s:\n%.300s", want, m1)
+		}
 	}
 }
 

@@ -115,7 +115,9 @@ func run(args []string) error {
 	e := sim.NewEngine(*seed)
 	e.Observe(reg)
 	var inj *faults.Injector
+	var cluster *glunix.Cluster
 	wire := func(c *glunix.Cluster) {
+		cluster = c
 		if *faultSpec == "" {
 			return
 		}
@@ -137,6 +139,11 @@ func run(args []string) error {
 	m := res.Master
 	fmt.Printf("migrations: %d   evictions: %d   restarts: %d   image saves/restores: %d/%d\n",
 		m.Migrations, m.Evictions, m.Restarts, m.ImageSaves, m.ImageRestores)
+	if cluster != nil {
+		fst := cluster.Fab.Stats()
+		fmt.Printf("fabric: offered %d pkts / %d B   delivered %d pkts / %d B   drops %d (%d injected)\n",
+			fst.Offered, fst.OfferedBytes, fst.Delivered, fst.DeliveredBytes, fst.Drops, fst.InjectedDrops)
+	}
 	if inj != nil {
 		fmt.Printf("faults applied: %d/%d   nodes declared down: %d   rejoins: %d\n",
 			inj.Applied(), len(plan.Faults), m.NodesDown, m.Rejoins)

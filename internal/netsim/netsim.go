@@ -19,10 +19,26 @@
 // fully received at tx_end + latency. Receiver-link contention is
 // modelled analytically with a per-destination busy-until horizon, so
 // incast (the Column benchmark's failure mode) queues where it should.
+// The drop decision (partition, link fault, background loss) is made
+// BEFORE a packet reserves the destination link: a packet the fabric
+// swallows never delays healthy traffic. Injected link delay is folded
+// into the occupancy horizon, so delivery on a (src, dst) pair is FIFO
+// even while the link's fault state churns.
 //
-// Fabric.Instrument attaches an internal/obs registry: packet/byte/drop
-// counters, a per-message delivery-latency histogram, and sampled
-// medium or per-link utilisation gauges (docs/OBSERVABILITY.md).
+// Accounting distinguishes offered load (packets that finished
+// transmission) from delivered load (packets handed to a delivery
+// handler); the difference is Drops. Self-sends bypass the wire and are
+// counted separately in neither.
+//
+// The delivery hot path is map-free: per-node handler tables and
+// per-node fault state are slice-indexed, and Packet structs can be
+// recycled through the fabric's free list (NewPacket/FreePacket), so a
+// 1,024-node collective sweep pays no hashing and little garbage.
+//
+// Fabric.Instrument attaches an internal/obs registry: offered/delivered
+// packet and byte counters, drop counters, a per-message
+// delivery-latency histogram, and sampled medium or per-link utilisation
+// gauges (docs/OBSERVABILITY.md).
 package netsim
 
 import (
@@ -46,6 +62,9 @@ type Packet struct {
 	Bytes    int
 	Payload  any
 	Sent     sim.Time // stamped by Send
+	// pooled marks packets obtained from Fabric.NewPacket; FreePacket
+	// recycles only these, so literals remain safe to pass everywhere.
+	pooled bool
 }
 
 // Delivery receives packets at their arrival time. It runs in engine
@@ -76,12 +95,18 @@ type Config struct {
 	LossProb float64
 }
 
-// Stats aggregates fabric activity over a run.
+// Stats aggregates fabric activity over a run. Offered counts packets
+// that finished transmission whether or not they were then dropped;
+// Delivered counts the subset actually handed to a delivery handler, so
+// Offered - Delivered == Drops always holds. Self-sends bypass the wire
+// and appear in neither.
 type Stats struct {
-	Packets   int64
-	Bytes     int64
-	Drops     int64
-	SelfSends int64
+	Offered        int64
+	OfferedBytes   int64
+	Delivered      int64
+	DeliveredBytes int64
+	Drops          int64
+	SelfSends      int64
 	// InjectedDrops is the subset of Drops caused by injected faults
 	// (partitions and per-link loss windows) rather than the fabric's
 	// configured background LossProb.
@@ -91,38 +116,27 @@ type Stats struct {
 // Fabric is a simulated LAN. Create one with New, register per-node
 // Delivery handlers, then Send from simulated processes.
 type Fabric struct {
-	eng      *sim.Engine
-	cfg      Config
-	medium   *sim.Resource   // shared mode: the one Ethernet segment
-	txLinks  []*sim.Resource // switched mode: per-node transmit links
-	rxFree   []sim.Time      // switched mode: per-node receive-link horizon
-	handlers map[portKey]Delivery
-	stats    Stats
-	m        *fabricMetrics // nil unless Instrument attached a registry
+	eng     *sim.Engine
+	cfg     Config
+	medium  *sim.Resource   // shared mode: the one Ethernet segment
+	txLinks []*sim.Resource // switched mode: per-node transmit links
+	rxFree  []sim.Time      // switched mode: per-node receive-link horizon
+	ports   [][]Delivery    // per-node, port-indexed delivery handlers
+	pool    []*Packet       // free list for NewPacket/FreePacket
+	stats   Stats
+	m       *fabricMetrics // nil unless Instrument attached a registry
 
-	// Injected fault state (internal/faults drives these; all nil/empty
-	// on a healthy fabric, so the send path pays only nil checks).
-	group     []int                    // partition group per node; nil = unpartitioned
-	linkLoss  map[linkKey]float64      // per-link injected loss probability
-	linkDelay map[linkKey]sim.Duration // per-link injected extra latency
-}
+	// Injected fault state (internal/faults drives these; all nil on a
+	// healthy fabric, so the send path pays only nil checks). Rows are
+	// allocated lazily per source node the first time a fault touches
+	// it; lookups are two slice indexes, never a map.
+	group     []int            // partition group per node; nil = unpartitioned
+	lossRows  [][]float64      // [src][dst] injected loss probability
+	delayRows [][]sim.Duration // [src][dst] injected extra latency
 
-// linkKey names an undirected node pair for link-fault state.
-type linkKey struct {
-	a, b NodeID // a < b
-}
-
-func mkLinkKey(x, y NodeID) linkKey {
-	if x > y {
-		x, y = y, x
-	}
-	return linkKey{a: x, b: y}
-}
-
-// portKey addresses one endpoint: a node and a port on it.
-type portKey struct {
-	node NodeID
-	port int
+	// deliverFn is the bound deliverPacket method, created once so the
+	// per-delivery AtArg schedule allocates no closure.
+	deliverFn func(any)
 }
 
 // New builds a fabric on e. Nodes must be positive; bandwidth must be
@@ -138,10 +152,11 @@ func New(e *sim.Engine, cfg Config) (*Fabric, error) {
 		return nil, fmt.Errorf("netsim: loss probability %v", cfg.LossProb)
 	}
 	f := &Fabric{
-		eng:      e,
-		cfg:      cfg,
-		handlers: make(map[portKey]Delivery),
+		eng:   e,
+		cfg:   cfg,
+		ports: make([][]Delivery, cfg.Nodes),
 	}
+	f.deliverFn = f.deliverPacket
 	if cfg.Shared {
 		f.medium = sim.NewResource(e, cfg.Name+"/medium", 1)
 	} else {
@@ -167,13 +182,49 @@ func (f *Fabric) SetDelivery(node NodeID, fn Delivery) {
 }
 
 // SetDeliveryPort registers the handler for one (node, port) endpoint.
+// Out-of-range nodes and negative ports are ignored, mirroring the old
+// behaviour that packets to unknown endpoints simply vanish.
 func (f *Fabric) SetDeliveryPort(node NodeID, port int, fn Delivery) {
-	k := portKey{node: node, port: port}
-	if fn == nil {
-		delete(f.handlers, k)
+	if node < 0 || int(node) >= f.cfg.Nodes || port < 0 {
 		return
 	}
-	f.handlers[k] = fn
+	ps := f.ports[node]
+	if port >= len(ps) {
+		if fn == nil {
+			return
+		}
+		grown := make([]Delivery, port+1)
+		copy(grown, ps)
+		ps, f.ports[node] = grown, grown
+	}
+	ps[port] = fn
+}
+
+// NewPacket returns a zeroed Packet from the fabric's free list. Pair
+// it with FreePacket for single-shot packets (acknowledgements, replies)
+// whose ownership ends at the receiver; packets built with literals are
+// unaffected. The simulation is single-threaded, so a plain slice is a
+// correct and deterministic pool.
+func (f *Fabric) NewPacket() *Packet {
+	if n := len(f.pool); n > 0 {
+		pkt := f.pool[n-1]
+		f.pool[n-1] = nil
+		f.pool = f.pool[:n-1]
+		return pkt
+	}
+	return &Packet{pooled: true}
+}
+
+// FreePacket recycles a packet obtained from NewPacket; it is a no-op
+// for literal packets, so callers may free anything they have finished
+// consuming. Freeing a pooled packet that something else still
+// references is a caller bug.
+func (f *Fabric) FreePacket(pkt *Packet) {
+	if pkt == nil || !pkt.pooled {
+		return
+	}
+	*pkt = Packet{pooled: true}
+	f.pool = append(f.pool, pkt)
 }
 
 // SerializationTime returns the wire occupancy for a packet of n bytes.
@@ -198,21 +249,36 @@ func (f *Fabric) Send(p *sim.Proc, pkt *Packet) {
 	ser := f.SerializationTime(pkt.Bytes)
 	if f.cfg.Shared {
 		f.medium.Use(p, 1, ser)
-		f.arrive(f.eng.Now()+f.cfg.Latency, pkt)
+		if !f.accept(pkt) {
+			return
+		}
+		f.deliverAt(f.eng.Now()+f.cfg.Latency+f.injectedDelay(pkt), pkt)
 		return
 	}
 	f.txLinks[pkt.Src].Use(p, 1, ser)
+	// The drop decision comes BEFORE the destination-link reservation: a
+	// packet swallowed by a partition, a lossy link, or background loss
+	// never occupies the victim's output link, so a flood aimed across a
+	// partition boundary cannot delay healthy traffic. The RNG draws
+	// happen at the same point in the event schedule as before (after
+	// the source-link park, synchronously), so seeded runs replay.
+	if !f.accept(pkt) {
+		return
+	}
 	// Cut-through: the head of the packet reached the destination link
 	// latency after it left; the tail arrives one serialization later.
-	// Output-link contention delays us behind earlier arrivals.
+	// Output-link contention delays us behind earlier arrivals, and any
+	// injected link delay is folded into the occupancy window so a later
+	// packet on a healing link cannot overtake an earlier one —
+	// per-(src,dst) delivery stays FIFO under fault churn.
 	headAtRx := f.eng.Now() - ser + f.cfg.Latency
 	outStart := headAtRx
 	if f.rxFree[pkt.Dst] > outStart {
 		outStart = f.rxFree[pkt.Dst]
 	}
-	done := outStart + ser
+	done := outStart + ser + f.injectedDelay(pkt)
 	f.rxFree[pkt.Dst] = done
-	f.arrive(done, pkt)
+	f.deliverAt(done, pkt)
 }
 
 // Partition splits the fabric into groups of nodes: nodes listed in
@@ -248,36 +314,49 @@ func (f *Fabric) Partitioned(a, b NodeID) bool {
 	return f.group[a] != f.group[b]
 }
 
+// faultRow returns rows[src], allocating lazily. rows must already be
+// non-nil.
+func faultRow[T any](rows [][]T, src NodeID, nodes int) []T {
+	if rows[src] == nil {
+		rows[src] = make([]T, nodes)
+	}
+	return rows[src]
+}
+
 // SetLinkFault degrades the (undirected) link between a and b: packets
 // between them are dropped with probability loss and delivered delay
 // later than normal. A second call replaces the previous fault on that
 // link; ClearLinkFault heals it.
 func (f *Fabric) SetLinkFault(a, b NodeID, loss float64, delay sim.Duration) {
-	k := mkLinkKey(a, b)
-	if loss > 0 {
-		if f.linkLoss == nil {
-			f.linkLoss = make(map[linkKey]float64)
-		}
-		f.linkLoss[k] = loss
-	} else if f.linkLoss != nil {
-		delete(f.linkLoss, k)
+	if a < 0 || b < 0 || int(a) >= f.cfg.Nodes || int(b) >= f.cfg.Nodes || a == b {
+		return
 	}
-	if delay > 0 {
-		if f.linkDelay == nil {
-			f.linkDelay = make(map[linkKey]sim.Duration)
+	if loss < 0 {
+		loss = 0
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	if loss > 0 || f.lossRows != nil {
+		if f.lossRows == nil {
+			f.lossRows = make([][]float64, f.cfg.Nodes)
 		}
-		f.linkDelay[k] = delay
-	} else if f.linkDelay != nil {
-		delete(f.linkDelay, k)
+		faultRow(f.lossRows, a, f.cfg.Nodes)[b] = loss
+		faultRow(f.lossRows, b, f.cfg.Nodes)[a] = loss
+	}
+	if delay > 0 || f.delayRows != nil {
+		if f.delayRows == nil {
+			f.delayRows = make([][]sim.Duration, f.cfg.Nodes)
+		}
+		faultRow(f.delayRows, a, f.cfg.Nodes)[b] = delay
+		faultRow(f.delayRows, b, f.cfg.Nodes)[a] = delay
 	}
 }
 
 // ClearLinkFault removes injected loss and delay from the link between
 // a and b.
 func (f *Fabric) ClearLinkFault(a, b NodeID) {
-	k := mkLinkKey(a, b)
-	delete(f.linkLoss, k)
-	delete(f.linkDelay, k)
+	f.SetLinkFault(a, b, 0, 0)
 }
 
 // injectedDrop decides whether fault state swallows pkt: a partition
@@ -288,9 +367,11 @@ func (f *Fabric) injectedDrop(pkt *Packet) bool {
 	if f.Partitioned(pkt.Src, pkt.Dst) {
 		return true
 	}
-	if f.linkLoss != nil {
-		if p, ok := f.linkLoss[mkLinkKey(pkt.Src, pkt.Dst)]; ok && f.eng.Rand().Float64() < p {
-			return true
+	if f.lossRows != nil {
+		if row := f.lossRows[pkt.Src]; row != nil {
+			if p := row[pkt.Dst]; p > 0 && f.eng.Rand().Float64() < p {
+				return true
+			}
 		}
 	}
 	return false
@@ -299,19 +380,26 @@ func (f *Fabric) injectedDrop(pkt *Packet) bool {
 // injectedDelay reports the extra delivery latency injected on pkt's
 // link (zero on a healthy link).
 func (f *Fabric) injectedDelay(pkt *Packet) sim.Duration {
-	if f.linkDelay == nil {
+	if f.delayRows == nil {
 		return 0
 	}
-	return f.linkDelay[mkLinkKey(pkt.Src, pkt.Dst)]
+	row := f.delayRows[pkt.Src]
+	if row == nil {
+		return 0
+	}
+	return row[pkt.Dst]
 }
 
-// arrive finalises a transmission: accounting, loss injection, delivery.
-func (f *Fabric) arrive(at sim.Time, pkt *Packet) {
-	f.stats.Packets++
-	f.stats.Bytes += int64(pkt.Bytes)
+// accept finalises a transmission's fate: it records the offered load,
+// applies the drop decision (injected faults first, then background
+// loss), and records delivered load for survivors. Dropped pooled
+// packets are recycled — nothing downstream will ever see them.
+func (f *Fabric) accept(pkt *Packet) bool {
+	f.stats.Offered++
+	f.stats.OfferedBytes += int64(pkt.Bytes)
 	if m := f.m; m != nil {
-		m.packets.Inc()
-		m.bytes.Add(int64(pkt.Bytes))
+		m.offered.Inc()
+		m.offeredBytes.Add(int64(pkt.Bytes))
 	}
 	if f.injectedDrop(pkt) {
 		f.stats.Drops++
@@ -320,27 +408,49 @@ func (f *Fabric) arrive(at sim.Time, pkt *Packet) {
 			m.drops.Inc()
 			m.injDrops.Inc()
 		}
-		return
+		f.FreePacket(pkt)
+		return false
 	}
 	if f.cfg.LossProb > 0 && f.eng.Rand().Float64() < f.cfg.LossProb {
 		f.stats.Drops++
 		if m := f.m; m != nil {
 			m.drops.Inc()
 		}
-		return
+		f.FreePacket(pkt)
+		return false
 	}
-	f.deliverAt(at+f.injectedDelay(pkt), pkt)
+	f.stats.Delivered++
+	f.stats.DeliveredBytes += int64(pkt.Bytes)
+	if m := f.m; m != nil {
+		m.delivered.Inc()
+		m.deliveredBytes.Add(int64(pkt.Bytes))
+	}
+	return true
 }
 
+// deliverAt schedules pkt's arrival. The packet rides in the pooled
+// event as the argument of the fabric's one bound deliverPacket method,
+// so the hot path schedules with zero allocations and zero map lookups.
 func (f *Fabric) deliverAt(at sim.Time, pkt *Packet) {
-	f.eng.At(at, func() {
-		if m := f.m; m != nil {
-			m.latency.Observe(int64(f.eng.Now() - pkt.Sent))
-		}
-		if h := f.handlers[portKey{node: pkt.Dst, port: pkt.Port}]; h != nil {
-			h(pkt)
-		}
-	})
+	f.eng.AtArg(at, f.deliverFn, pkt)
+}
+
+func (f *Fabric) deliverPacket(v any) {
+	pkt := v.(*Packet)
+	if m := f.m; m != nil {
+		m.latency.Observe(int64(f.eng.Now() - pkt.Sent))
+	}
+	var h Delivery
+	if ps := f.ports[pkt.Dst]; pkt.Port >= 0 && pkt.Port < len(ps) {
+		h = ps[pkt.Port]
+	}
+	if h != nil {
+		h(pkt)
+		return
+	}
+	// No handler at (dst, port): the packet vanishes; recycle it if it
+	// came from the pool (a literal's sender may still hold it).
+	f.FreePacket(pkt)
 }
 
 // Stats returns a snapshot of fabric counters.
@@ -353,4 +463,14 @@ func (f *Fabric) MediumUtilization() float64 {
 		return 0
 	}
 	return f.medium.Utilization()
+}
+
+// TxLinkUtilization reports the time-averaged utilisation of one node's
+// transmit link on a switched fabric (0 in shared mode), the per-link
+// figure the scale studies record.
+func (f *Fabric) TxLinkUtilization(node NodeID) float64 {
+	if f.txLinks == nil || node < 0 || int(node) >= len(f.txLinks) {
+		return 0
+	}
+	return f.txLinks[node].Utilization()
 }

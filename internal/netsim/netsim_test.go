@@ -198,9 +198,36 @@ func TestStatsCountBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := f.Stats()
-	if st.Packets != 2 || st.Bytes != 300 {
+	if st.Offered != 2 || st.OfferedBytes != 300 {
 		t.Fatalf("stats = %+v", st)
 	}
+	if st.Delivered != 2 || st.DeliveredBytes != 300 {
+		t.Fatalf("loss-free run must deliver everything offered: %+v", st)
+	}
+}
+
+// TestPacketPoolRecycles: NewPacket/FreePacket reuse structs, literals
+// are ignored, and a freed packet comes back zeroed.
+func TestPacketPoolRecycles(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	f := newTestFabric(t, e, ATM155(2))
+	p1 := f.NewPacket()
+	p1.Src, p1.Dst, p1.Bytes, p1.Payload = 0, 1, 64, "x"
+	f.FreePacket(p1)
+	p2 := f.NewPacket()
+	if p2 != p1 {
+		t.Fatal("pool did not recycle the freed packet")
+	}
+	if p2.Bytes != 0 || p2.Payload != nil || p2.Src != 0 || p2.Dst != 0 {
+		t.Fatalf("recycled packet not zeroed: %+v", p2)
+	}
+	lit := &Packet{Src: 0, Dst: 1}
+	f.FreePacket(lit) // must be a no-op
+	if got := f.NewPacket(); got == lit {
+		t.Fatal("literal packet entered the pool")
+	}
+	f.FreePacket(nil) // must not panic
 }
 
 func TestUnhandledDestinationDoesNotCrash(t *testing.T) {

@@ -3,14 +3,16 @@ package netsim
 import "github.com/nowproject/now/internal/obs"
 
 // fabricMetrics holds the fabric's collector handles; nil on an
-// unobserved fabric, so the send/arrive paths pay a single branch.
+// unobserved fabric, so the send/accept paths pay a single branch.
 type fabricMetrics struct {
-	packets   *obs.Counter   // net.packets
-	bytes     *obs.Counter   // net.bytes
-	drops     *obs.Counter   // net.drops
-	injDrops  *obs.Counter   // net.drops.injected
-	selfSends *obs.Counter   // net.sends.self
-	latency   *obs.Histogram // net.am.latency.ns
+	offered        *obs.Counter   // net.offered
+	offeredBytes   *obs.Counter   // net.offered.bytes
+	delivered      *obs.Counter   // net.delivered
+	deliveredBytes *obs.Counter   // net.delivered.bytes
+	drops          *obs.Counter   // net.drops
+	injDrops       *obs.Counter   // net.drops.injected
+	selfSends      *obs.Counter   // net.sends.self
+	latency        *obs.Histogram // net.am.latency.ns
 }
 
 // Instrument attaches metrics collectors to the fabric. Call once per
@@ -19,12 +21,16 @@ type fabricMetrics struct {
 //
 // Fabric metrics (names per docs/OBSERVABILITY.md):
 //
-//	net.packets              packets that finished transmission
-//	net.bytes                wire bytes carried (headers included)
-//	net.drops                packets lost (background loss + injected faults)
+//	net.offered              packets that finished transmission (offered load)
+//	net.offered.bytes        wire bytes offered (headers included)
+//	net.delivered            packets handed to a delivery handler
+//	net.delivered.bytes      wire bytes delivered (headers included)
+//	net.drops                packets lost (background loss + injected faults);
+//	                         net.offered - net.delivered == net.drops
 //	net.drops.injected       subset of net.drops caused by injected
 //	                         partitions and link faults (internal/faults)
-//	net.sends.self           sends where src == dst (wire bypassed)
+//	net.sends.self           sends where src == dst (wire bypassed; counted
+//	                         in neither offered nor delivered)
 //	net.am.latency.ns        send-to-delivery latency histogram
 //	net.medium.util.ppm      shared-medium utilization, ppm (sampled)
 //	net.links.tx.util.ppm.mean  mean tx-link utilization, ppm (sampled)
@@ -34,12 +40,14 @@ func (f *Fabric) Instrument(r *obs.Registry) {
 		return
 	}
 	f.m = &fabricMetrics{
-		packets:   r.Counter("net.packets"),
-		bytes:     r.Counter("net.bytes"),
-		drops:     r.Counter("net.drops"),
-		injDrops:  r.Counter("net.drops.injected"),
-		selfSends: r.Counter("net.sends.self"),
-		latency:   r.Histogram("net.am.latency.ns", obs.DurationBuckets),
+		offered:        r.Counter("net.offered"),
+		offeredBytes:   r.Counter("net.offered.bytes"),
+		delivered:      r.Counter("net.delivered"),
+		deliveredBytes: r.Counter("net.delivered.bytes"),
+		drops:          r.Counter("net.drops"),
+		injDrops:       r.Counter("net.drops.injected"),
+		selfSends:      r.Counter("net.sends.self"),
+		latency:        r.Histogram("net.am.latency.ns", obs.DurationBuckets),
 	}
 	if f.medium != nil {
 		util := r.Gauge("net.medium.util.ppm")

@@ -510,6 +510,7 @@ func (ep *Endpoint) txLoop(p *sim.Proc) {
 	for {
 		pkt := ep.tx.Get(p)
 		if ep.detached {
+			ep.fab.FreePacket(pkt) // recycles pooled acks/replies; no-op on requests
 			continue
 		}
 		ep.fab.Send(p, pkt)
@@ -520,10 +521,12 @@ func (ep *Endpoint) txLoop(p *sim.Proc) {
 // then hand to the dispatcher.
 func (ep *Endpoint) deliver(pkt *netsim.Packet) {
 	if ep.detached {
+		ep.fab.FreePacket(pkt)
 		return
 	}
 	if ep.rq.Len() >= ep.cfg.BufferSlots {
 		ep.stats.Overflows++
+		ep.fab.FreePacket(pkt)
 		return
 	}
 	ep.rq.Put(pkt)
@@ -536,6 +539,7 @@ func (ep *Endpoint) dispatch(p *sim.Proc) {
 		pkt := ep.rq.Get(p)
 		w, ok := pkt.Payload.(*wire)
 		if !ok {
+			ep.fab.FreePacket(pkt)
 			continue
 		}
 		ep.chargeCPU(p, ep.cfg.RecvOverhead+sim.Duration(w.bytes)*ep.cfg.RecvPerByte)
@@ -543,14 +547,19 @@ func (ep *Endpoint) dispatch(p *sim.Proc) {
 		case kindRequest:
 			// Transport receipt first: the sender stops retransmitting
 			// while the handler (possibly a long disk operation) runs.
-			ep.tx.Put(&netsim.Packet{
-				Src:     ep.id,
-				SrcPort: ep.cfg.Port,
-				Dst:     pkt.Src,
-				Port:    pkt.SrcPort,
-				Bytes:   ep.cfg.HeaderBytes,
-				Payload: &wire{kind: kindAck, seq: w.seq},
-			})
+			// Acks are single-shot (a retried request generates a fresh
+			// one), so the packet comes from the fabric pool and the
+			// receiving dispatcher recycles it.
+			ack := ep.fab.NewPacket()
+			ack.Src = ep.id
+			ack.SrcPort = ep.cfg.Port
+			ack.Dst = pkt.Src
+			ack.Port = pkt.SrcPort
+			ack.Bytes = ep.cfg.HeaderBytes
+			ack.Payload = &wire{kind: kindAck, seq: w.seq}
+			ep.tx.Put(ack)
+			// Request packets are never pooled: the sender retains them
+			// for retransmission, so there is nothing to recycle here.
 			ep.handleRequest(p, pkt, w)
 		case kindReply:
 			if pd, ok := ep.pend[w.seq]; ok {
@@ -558,8 +567,10 @@ func (ep *Endpoint) dispatch(p *sim.Proc) {
 			}
 			// Unknown seq: a duplicate reply for a call that already
 			// completed — drop it.
+			ep.fab.FreePacket(pkt)
 		case kindAck:
 			ep.onAck(w.seq)
+			ep.fab.FreePacket(pkt)
 		}
 	}
 }
@@ -609,12 +620,15 @@ func (ep *Endpoint) handleRequest(p *sim.Proc, pkt *netsim.Packet, w *wire) {
 func (ep *Endpoint) sendReply(p *sim.Proc, dst netsim.NodeID, srcPort int, seq uint64, val any, bytes int) {
 	ep.chargeCPU(p, ep.cfg.SendOverhead+sim.Duration(bytes)*ep.cfg.SendPerByte)
 	ep.stats.Replies++
-	ep.tx.Put(&netsim.Packet{
-		Src:     ep.id,
-		SrcPort: ep.cfg.Port,
-		Dst:     dst,
-		Port:    srcPort,
-		Bytes:   bytes + ep.cfg.HeaderBytes,
-		Payload: &wire{kind: kindReply, seq: seq, arg: val, bytes: bytes},
-	})
+	// Replies, like acks, are single-shot: a duplicate request is
+	// answered with a fresh packet from the cache, so this one can come
+	// from the pool and be recycled by the receiving dispatcher.
+	pkt := ep.fab.NewPacket()
+	pkt.Src = ep.id
+	pkt.SrcPort = ep.cfg.Port
+	pkt.Dst = dst
+	pkt.Port = srcPort
+	pkt.Bytes = bytes + ep.cfg.HeaderBytes
+	pkt.Payload = &wire{kind: kindReply, seq: seq, arg: val, bytes: bytes}
+	ep.tx.Put(pkt)
 }

@@ -1,0 +1,57 @@
+package collective
+
+import (
+	"testing"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+// benchComm runs b.N rounds of op on n ranks and reports virtual
+// microseconds per operation alongside the wall-clock figures.
+func benchComm(b *testing.B, n int, op func(c *Comm, p *sim.Proc, rank int) error) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	_, _, c := rig(b, e, n, DefaultConfig())
+	rounds := b.N
+	var procErr error
+	var virtEnd sim.Time // last rank's completion, not engine drain time
+	for r := 0; r < n; r++ {
+		r := r
+		e.Spawn("rank", func(p *sim.Proc) {
+			for i := 0; i < rounds; i++ {
+				if err := op(c, p, r); err != nil {
+					procErr = err
+					return
+				}
+			}
+			if p.Now() > virtEnd {
+				virtEnd = p.Now()
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if procErr != nil {
+		b.Fatal(procErr)
+	}
+	b.ReportMetric(float64(virtEnd)/float64(rounds)/1e3, "virt-µs/op")
+}
+
+// BenchmarkBarrier1024 is the scale-study headline: one barrier across
+// 1,024 ranks, the configuration the ISSUE's acceptance gate names.
+func BenchmarkBarrier1024(b *testing.B) {
+	benchComm(b, 1024, func(c *Comm, p *sim.Proc, rank int) error {
+		return c.Barrier(p, rank)
+	})
+}
+
+// BenchmarkAllToAll128 exchanges 1 KiB blocks between all pairs of 128
+// ranks — 16,256 messages per operation.
+func BenchmarkAllToAll128(b *testing.B) {
+	benchComm(b, 128, func(c *Comm, p *sim.Proc, rank int) error {
+		return c.AllToAll(p, rank, 1024)
+	})
+}

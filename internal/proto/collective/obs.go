@@ -1,0 +1,49 @@
+package collective
+
+import "github.com/nowproject/now/internal/obs"
+
+// metrics holds the communicator's collector handles; nil on an
+// unobserved communicator, so operations pay a single branch.
+type metrics struct {
+	barriers    *obs.Counter   // collective.barriers
+	broadcasts  *obs.Counter   // collective.broadcasts
+	reduces     *obs.Counter   // collective.reduces
+	allToAlls   *obs.Counter   // collective.alltoalls
+	barrierNs   *obs.Histogram // collective.barrier.ns
+	broadcastNs *obs.Histogram // collective.broadcast.ns
+	reduceNs    *obs.Histogram // collective.reduce.ns
+	allToAllNs  *obs.Histogram // collective.alltoall.ns
+}
+
+// Instrument attaches metrics collectors to the communicator. Counters
+// count per-rank operation completions (one barrier on n ranks adds
+// n), and histograms record each rank's own operation latency — the
+// root of a barrier finishes before the leaves, and the spread is the
+// interesting signal. Call once per registry; a nil registry is a
+// no-op.
+//
+// Metrics (names per docs/OBSERVABILITY.md):
+//
+//	collective.barriers       barrier completions (per rank)
+//	collective.broadcasts     broadcast completions (per rank)
+//	collective.reduces        reduce completions (per rank)
+//	collective.alltoalls      all-to-all completions (per rank)
+//	collective.barrier.ns     per-rank barrier latency histogram
+//	collective.broadcast.ns   per-rank broadcast latency histogram
+//	collective.reduce.ns      per-rank reduce latency histogram
+//	collective.alltoall.ns    per-rank all-to-all latency histogram
+func (c *Comm) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	c.m = &metrics{
+		barriers:    r.Counter("collective.barriers"),
+		broadcasts:  r.Counter("collective.broadcasts"),
+		reduces:     r.Counter("collective.reduces"),
+		allToAlls:   r.Counter("collective.alltoalls"),
+		barrierNs:   r.Histogram("collective.barrier.ns", obs.DurationBuckets),
+		broadcastNs: r.Histogram("collective.broadcast.ns", obs.DurationBuckets),
+		reduceNs:    r.Histogram("collective.reduce.ns", obs.DurationBuckets),
+		allToAllNs:  r.Histogram("collective.alltoall.ns", obs.DurationBuckets),
+	}
+}

@@ -1,0 +1,55 @@
+package collective
+
+import (
+	"github.com/nowproject/now/internal/netsim"
+	"github.com/nowproject/now/internal/proto/am"
+	"github.com/nowproject/now/internal/sim"
+)
+
+// LogP-style analytic predictions for the scale study (experiment
+// SC1). The model is the classic four-parameter one the NOW papers
+// reason with: per-message send/receive overhead o, network latency L,
+// and a per-byte serialization gap from the link bandwidth. The point
+// of the predictions is not to match the simulator exactly — the
+// simulator charges CPU contention, window acks and switch occupancy
+// the closed form ignores — but to expose the scaling *shape*: barrier
+// latency growing with tree depth (log_k n) and all-to-all growing
+// linearly in n.
+
+// serTime returns the wire occupancy for bytes on a fabric with cfg,
+// mirroring Fabric.SerializationTime without needing a live fabric.
+func serTime(cfg netsim.Config, bytes int) sim.Duration {
+	return sim.PerByte(int64(bytes), sim.Bandwidth(cfg.BandwidthMbps)) + cfg.PerPacketWire
+}
+
+// TreeDepth returns the depth of the heap-layout k-ary tree on n
+// ranks: the number of edges from the deepest rank to the root.
+func TreeDepth(n, arity int) int {
+	if arity <= 0 {
+		arity = 4
+	}
+	d := 0
+	for r := n - 1; r > 0; r = (r - 1) / arity {
+		d++
+	}
+	return d
+}
+
+// PredictBarrier estimates barrier latency on n ranks: the gather wave
+// and the release wave each cross the tree's depth, and every hop pays
+// send overhead, header serialization, latency and receive overhead.
+func PredictBarrier(amCfg am.Config, fabCfg netsim.Config, n, arity int) sim.Duration {
+	d := sim.Duration(TreeDepth(n, arity))
+	hop := amCfg.SendOverhead + serTime(fabCfg, amCfg.HeaderBytes) + fabCfg.Latency + amCfg.RecvOverhead
+	return 2 * d * hop
+}
+
+// PredictAllToAll estimates the pairwise-exchange on n ranks: each of
+// the n-1 rounds sends one block and blocks for its acknowledgement,
+// so a round costs a full request (send overhead, block serialization,
+// latency, receive overhead) plus the header-sized reply coming back.
+func PredictAllToAll(amCfg am.Config, fabCfg netsim.Config, n, blockBytes int) sim.Duration {
+	req := amCfg.SendOverhead + serTime(fabCfg, blockBytes+amCfg.HeaderBytes) + fabCfg.Latency + amCfg.RecvOverhead
+	rep := amCfg.SendOverhead + serTime(fabCfg, amCfg.HeaderBytes) + fabCfg.Latency + amCfg.RecvOverhead
+	return sim.Duration(n-1) * (req + rep)
+}

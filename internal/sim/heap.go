@@ -19,8 +19,10 @@ type event struct {
 	seq       uint64
 	gen       uint64
 	fn        func()
-	proc      *Proc // typed wake fast path: resume proc directly, no closure
-	timeout   bool  // wake carries the timeout flag (deadline fired)
+	afn       func(any) // arg-carrying callback: fn and afn are mutually exclusive
+	arg       any       // payload for afn; rides in the pooled event, no closure
+	proc      *Proc     // typed wake fast path: resume proc directly, no closure
+	timeout   bool      // wake carries the timeout flag (deadline fired)
 	cancelled bool
 	index     int
 }
@@ -51,6 +53,8 @@ func (t Timer) Stop() bool {
 	// eventually popped, so the closure (and everything it captures)
 	// is not retained for the remaining queue lifetime of the event.
 	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
 	ev.proc = nil
 	return true
 }

@@ -62,7 +62,11 @@ func (r *Resource) AcquireTimeout(p *Proc, n int, d Duration) bool {
 }
 
 func (r *Resource) acquireDeadline(p *Proc, n int, d Duration) bool {
-	r.eng.invariant(n > 0 && n <= r.capacity, "resource %s: acquire %d of %d", r.name, n, r.capacity)
+	// Guarded so the variadic boxing only happens on the failure path;
+	// an unconditional invariant call allocates per acquire.
+	if n <= 0 || n > r.capacity {
+		r.eng.invariant(false, "resource %s: acquire %d of %d", r.name, n, r.capacity)
+	}
 	if len(r.queue) == 0 && r.inUse+n <= r.capacity {
 		r.account()
 		r.inUse += n
@@ -86,7 +90,9 @@ func (r *Resource) acquireDeadline(p *Proc, n int, d Duration) bool {
 
 // Release returns n units and grants queued waiters in FIFO order.
 func (r *Resource) Release(n int) {
-	r.eng.invariant(n > 0 && n <= r.inUse, "resource %s: release %d with %d in use", r.name, n, r.inUse)
+	if n <= 0 || n > r.inUse {
+		r.eng.invariant(false, "resource %s: release %d with %d in use", r.name, n, r.inUse)
+	}
 	r.account()
 	r.inUse -= n
 	r.grant()

@@ -25,6 +25,14 @@ go test -run '^$' -bench "$sim_benches" -benchmem -benchtime "$benchtime" \
 go test -run '^$' -bench 'BenchmarkXFSReadDegraded$' -benchtime "$benchtime" \
     ./internal/xfs/ | tee -a "$raw"
 
+# Fabric hot path (must stay at 0 allocs/op) and the collective scale
+# headliners: a 1,024-rank barrier and a 128-rank all-to-all, with
+# virtual µs/op alongside the wall-clock figures.
+go test -run '^$' -bench 'BenchmarkFabricDelivery$' -benchmem -benchtime "$benchtime" \
+    ./internal/netsim/ | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkBarrier1024$|BenchmarkAllToAll128$' -benchtime 2x \
+    ./internal/proto/collective/ | tee -a "$raw"
+
 if [ "${FULL:-0}" = "1" ]; then
     # One iteration of each experiment bench: regenerates every table
     # and figure once and reports the headline paper metrics.

@@ -16,10 +16,17 @@ echo "== go test -race ./internal/sim/..."
 go test -race -count=1 ./internal/sim/...
 echo "== go test -race ./internal/faults/..."
 go test -race -count=1 ./internal/faults/...
+echo "== go test -race ./internal/netsim/... ./internal/proto/..."
+go test -race -count=1 ./internal/netsim/... ./internal/proto/...
+echo "== netsim fabric accounting regressions (drop-before-reserve, FIFO under fault churn)"
+go test -count=1 -run 'TestPartitionFloodDoesNotDelayHealthyTraffic|TestLinkFaultFIFOUnderChurn|TestPartitionDropsAndAccounts' ./internal/netsim/ >/dev/null
 echo "== observability golden determinism (byte-identical metrics across runs)"
 go test -count=1 -run 'TestMetricsGoldenDeterminism' ./cmd/nowsim/ >/dev/null
 go test -count=1 -run 'TestEngineMetricsDeterministic' ./internal/sim/ >/dev/null
 echo "== fault-plan golden determinism (same plan -> byte-identical exports)"
 go test -count=1 -run 'TestFaultedRunGoldenDeterminism' ./cmd/nowsim/ >/dev/null
 go test -count=1 -run 'TestInjectorDeterministicExport' ./internal/faults/ >/dev/null
+echo "== collective golden determinism (32/128-rank runs + SC1 CLI export)"
+go test -count=1 -run 'TestDeterminismGolden32|TestDeterminismGolden128' ./internal/proto/collective/ >/dev/null
+go test -count=1 -run 'TestScaleStudyGoldenDeterminism' ./cmd/nowbench/ >/dev/null
 echo "verify: all checks passed"
