@@ -11,7 +11,8 @@
 //
 // Experiment ids follow DESIGN.md §3: T1 T2 T3 T4 F1 F2 F3 F4, the
 // prose claims E5 E6 E7 E8 E9 E10, the fault-injection availability
-// study AV1 (docs/FAULTS.md), and the collective scale study SC1.
+// study AV1 (docs/FAULTS.md), the collective scale study SC1, and the
+// xFS sequential-scan pipelining study ST2.
 package main
 
 import (
@@ -22,7 +23,7 @@ import (
 	"strings"
 	"time"
 
-	"github.com/nowproject/now/internal/coopcache"
+	now "github.com/nowproject/now"
 	"github.com/nowproject/now/internal/experiments"
 	"github.com/nowproject/now/internal/obs"
 )
@@ -82,7 +83,7 @@ func run(args []string) error {
 			cfg := experiments.DefaultTable3Config()
 			if *quick {
 				cfg.Accesses = 40_000
-				cfg.Policies = []coopcache.Policy{coopcache.ClientServer, coopcache.NChance}
+				cfg.Policies = []now.CachePolicy{now.ClientServer, now.NChance}
 			}
 			r, _, err := experiments.Table3(cfg)
 			return r, err
@@ -134,6 +135,14 @@ func run(args []string) error {
 				cfg.Barriers = 2
 			}
 			r, _, err := experiments.ScaleCollectives(cfg)
+			return r, err
+		}},
+		{"ST2", func() (experiments.Report, error) {
+			cfg := experiments.DefaultSeqScanConfig()
+			if *quick {
+				cfg.Sizes = []int{8, 32}
+			}
+			r, _, err := experiments.SeqScan(cfg)
 			return r, err
 		}},
 	}

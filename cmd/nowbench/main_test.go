@@ -88,6 +88,48 @@ func TestScaleStudyGoldenDeterminism(t *testing.T) {
 	}
 }
 
+// TestSeqScanGoldenDeterminism is the ST2 golden: the sequential-scan
+// pipelining study, run twice through the full CLI path with metrics
+// export, must produce byte-identical report JSON and metrics files —
+// concurrent prefetch procs and vectored fan-outs included.
+func TestSeqScanGoldenDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(n string) ([]byte, []byte) {
+		mpath := filepath.Join(dir, "st"+n+".json")
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		runErr := run([]string{"-json", "-quick", "-only", "ST2", "-metrics", mpath})
+		w.Close()
+		os.Stdout = old
+		raw, _ := io.ReadAll(r)
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		mb, err := os.ReadFile(mpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, mb
+	}
+	r1, m1 := runOnce("1")
+	r2, m2 := runOnce("2")
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("ST2 report JSON is not byte-deterministic")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("ST2 metrics export is not byte-deterministic")
+	}
+	for _, want := range []string{`"xfs.batch.tokens"`, `"xfs.prefetch.issued"`, `"xfs.batch.commits"`} {
+		if !bytes.Contains(m1, []byte(want)) {
+			t.Fatalf("ST2 metrics missing %s:\n%.300s", want, m1)
+		}
+	}
+}
+
 func TestRunUnknownFlag(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("unknown flag accepted")

@@ -13,11 +13,11 @@
 //	nowsim -ws 32 -hours 6 -faults plan.txt
 //
 // The -metrics, -metrics-csv and -trace flags attach the observability
-// layer (internal/obs) and export it after the run. All values are
+// layer and export it after the run. All values are
 // keyed to virtual time, so two runs with the same flags produce
 // byte-identical files.
 //
-// The -faults flag injects a fault plan (internal/faults) into the
+// The -faults flag injects a fault plan into the
 // run: workstation crashes with later recovery and census rejoin,
 // fabric partitions, degraded-link windows. A plan is a file (see
 // docs/FAULTS.md for the grammar) or "seed:<n>[,key=val...]" for a
@@ -32,10 +32,8 @@ import (
 	"os"
 	"sort"
 
-	"github.com/nowproject/now/internal/faults"
-	"github.com/nowproject/now/internal/glunix"
+	now "github.com/nowproject/now"
 	"github.com/nowproject/now/internal/obs"
-	"github.com/nowproject/now/internal/sim"
 	"github.com/nowproject/now/internal/trace"
 )
 
@@ -60,19 +58,19 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var policy glunix.RecruitPolicy
+	var policy now.RecruitPolicy
 	switch *policyName {
 	case "migrate":
-		policy = glunix.MigrateOnReturn
+		policy = now.MigrateOnReturn
 	case "restart":
-		policy = glunix.RestartOnReturn
+		policy = now.RestartOnReturn
 	case "ignore":
-		policy = glunix.IgnoreUser
+		policy = now.IgnoreUser
 	default:
 		return fmt.Errorf("unknown policy %q", *policyName)
 	}
 
-	length := sim.Duration(*hours) * sim.Hour
+	length := now.Duration(*hours) * now.Hour
 	days := (*hours + 23) / 24
 	acfg := trace.DefaultActivityConfig(*ws, days)
 	acfg.Seed = *seed
@@ -81,18 +79,18 @@ func run(args []string) error {
 	jcfg := trace.DefaultJobTraceConfig(length)
 	jcfg.Seed = *seed
 	if *interarrival > 0 {
-		jcfg.MeanInterarrival = sim.Duration(interarrival.Nanoseconds())
+		jcfg.MeanInterarrival = now.Duration(interarrival.Nanoseconds())
 	}
 	jobs := trace.GenerateJobs(jcfg)
 	for i := range jobs {
-		if jobs[i].CommGrain < 5*sim.Second {
-			jobs[i].CommGrain = 5 * sim.Second
+		if jobs[i].CommGrain < 5*now.Second {
+			jobs[i].CommGrain = 5 * now.Second
 		}
 	}
 
-	cfg := glunix.DefaultConfig(*ws)
+	cfg := now.DefaultGLUnixConfig(*ws)
 	cfg.Policy = policy
-	cfg.HeartbeatInterval = 5 * sim.Minute
+	cfg.HeartbeatInterval = 5 * now.Minute
 	cfg.Seed = *seed
 
 	var reg *obs.Registry
@@ -101,10 +99,10 @@ func run(args []string) error {
 		cfg.Obs = reg
 	}
 
-	var plan faults.Plan
+	var plan now.FaultPlan
 	if *faultSpec != "" {
 		var err error
-		plan, err = faults.ParseSpec(*faultSpec, *ws+1, length)
+		plan, err = now.ParseFaultSpec(*faultSpec, *ws+1, length)
 		if err != nil {
 			return err
 		}
@@ -112,22 +110,22 @@ func run(args []string) error {
 
 	fmt.Printf("NOW: %d workstations, %d virtual hours, policy %v, %d parallel jobs\n",
 		*ws, *hours, policy, len(jobs))
-	e := sim.NewEngine(*seed)
+	e := now.NewEngine(*seed)
 	e.Observe(reg)
-	var inj *faults.Injector
-	var cluster *glunix.Cluster
-	wire := func(c *glunix.Cluster) {
+	var inj *now.FaultInjector
+	var cluster *now.GLUnix
+	wire := func(c *now.GLUnix) {
 		cluster = c
 		if *faultSpec == "" {
 			return
 		}
-		inj = faults.NewInjector(e, faults.ClusterTarget{C: c}, plan, reg)
+		inj = now.NewInjector(e, now.ClusterFaultTarget{C: c}, plan, reg)
 		inj.Schedule()
 		fmt.Printf("fault plan %q: %d faults scheduled\n", plan.Name, len(plan.Faults))
 	}
-	res, err := glunix.RunMixedWith(e, cfg, activity, jobs, length+12*sim.Hour, wire)
+	res, err := now.RunGLUnixMixed(e, cfg, activity, jobs, length+12*now.Hour, wire)
 	e.Close()
-	if err != nil && !errors.Is(err, sim.ErrStopped) {
+	if err != nil && !errors.Is(err, now.ErrStopped) {
 		return err
 	}
 	if err := exportObs(reg, *metricsPath, *metricsCSV, *tracePath); err != nil {

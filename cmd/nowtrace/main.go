@@ -17,7 +17,7 @@ import (
 	"os"
 	"strconv"
 
-	"github.com/nowproject/now/internal/sim"
+	now "github.com/nowproject/now"
 	"github.com/nowproject/now/internal/trace"
 )
 
@@ -75,7 +75,7 @@ func run(args []string) error {
 			}
 		}
 	case "jobs":
-		cfg := trace.DefaultJobTraceConfig(sim.Duration(*hours) * sim.Hour)
+		cfg := trace.DefaultJobTraceConfig(now.Duration(*hours) * now.Hour)
 		cfg.Seed = *seed
 		jobs := trace.GenerateJobs(cfg)
 		fmt.Printf("parallel job log: %d jobs over %d hours, total work %v\n",

@@ -9,32 +9,30 @@ import (
 	"fmt"
 	"log"
 
-	"github.com/nowproject/now/internal/gator"
-	"github.com/nowproject/now/internal/netsim"
-	"github.com/nowproject/now/internal/sim"
+	now "github.com/nowproject/now"
 )
 
 func main() {
 	fmt.Println("Table 4 — Gator atmospheric model (36 Gflop, 3.9 GB input):")
-	for _, row := range gator.Table4() {
+	for _, row := range now.GatorTable4() {
 		fmt.Println("  " + row.String())
 	}
 
 	fmt.Println("\nMini tracer actually running on the simulated NOW (8 nodes):")
 	for _, c := range []struct {
 		name   string
-		fabric func(int) netsim.Config
+		fabric func(int) now.FabricConfig
 		pfs    bool
 	}{
-		{"Ethernet + sequential FS", netsim.Ethernet10, false},
-		{"ATM + sequential FS", netsim.ATM155, false},
-		{"ATM + parallel FS", netsim.ATM155, true},
+		{"Ethernet + sequential FS", now.Ethernet10, false},
+		{"ATM + sequential FS", now.ATM155, false},
+		{"ATM + parallel FS", now.ATM155, true},
 	} {
-		e := sim.NewEngine(1)
-		cfg := gator.DefaultMiniConfig(8)
+		e := now.NewEngine(1)
+		cfg := now.DefaultGatorMiniConfig(8)
 		cfg.Fabric = c.fabric
 		cfg.ParallelFS = c.pfs
-		res, err := gator.RunMini(e, cfg)
+		res, err := now.RunGatorMini(e, cfg)
 		e.Close()
 		if err != nil {
 			log.Fatal(err)

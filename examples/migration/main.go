@@ -11,7 +11,6 @@ import (
 	"log"
 
 	now "github.com/nowproject/now"
-	"github.com/nowproject/now/internal/sim"
 )
 
 func main() {
@@ -32,7 +31,7 @@ func main() {
 		fmt.Println("t=30s    the user of workstation 1 sits down and types")
 		g.Daemons[1].SetUserActive(true)
 	})
-	if err := e.RunUntil(10 * now.Minute); err != nil && !errors.Is(err, sim.ErrStopped) {
+	if err := e.RunUntil(10 * now.Minute); err != nil && !errors.Is(err, now.ErrStopped) {
 		log.Fatal(err)
 	}
 	e.Close()

@@ -11,13 +11,11 @@ import (
 	"log"
 
 	now "github.com/nowproject/now"
-	"github.com/nowproject/now/internal/netram"
-	"github.com/nowproject/now/internal/sim"
 )
 
 const mb = 1 << 20
 
-func run(localMem int64, servers int, problem int64) netram.MultigridResult {
+func run(localMem int64, servers int, problem int64) now.MultigridResult {
 	e := now.NewEngine(1)
 	defer e.Close()
 	fab, err := now.NewFabric(e, now.ATM155(servers+1))
@@ -34,12 +32,12 @@ func run(localMem int64, servers int, problem int64) netram.MultigridResult {
 	for i := 0; i < servers; i++ {
 		reg.Offer(now.NewNetRAMServer(mk(i+1, 256*mb), 16384))
 	}
-	var res netram.MultigridResult
+	var res now.MultigridResult
 	e.Spawn("solver", func(p *now.Proc) {
-		res = netram.RunMultigrid(p, pager, netram.DefaultMultigridConfig(problem))
+		res = now.RunMultigrid(p, pager, now.DefaultMultigridConfig(problem))
 		e.Stop()
 	})
-	if err := e.Run(); !errors.Is(err, sim.ErrStopped) {
+	if err := e.Run(); !errors.Is(err, now.ErrStopped) {
 		log.Fatal(err)
 	}
 	return res

@@ -9,7 +9,6 @@ import (
 	"log"
 
 	now "github.com/nowproject/now"
-	"github.com/nowproject/now/internal/sim"
 )
 
 func main() {
@@ -21,7 +20,7 @@ func main() {
 	}
 	job := now.NewJob(1, 8, 30*now.Second, now.Second)
 	e.At(0, func() { g.Master.Submit(job) })
-	if err := e.RunUntil(5 * now.Minute); err != nil && !errors.Is(err, sim.ErrStopped) {
+	if err := e.RunUntil(5 * now.Minute); err != nil && !errors.Is(err, now.ErrStopped) {
 		log.Fatal(err)
 	}
 	e.Close()
@@ -48,7 +47,7 @@ func main() {
 		fmt.Printf("xFS: client 5 read client 2's write: %q\n", got[:35])
 		e2.Stop()
 	})
-	if err := e2.Run(); !errors.Is(err, sim.ErrStopped) {
+	if err := e2.Run(); !errors.Is(err, now.ErrStopped) {
 		log.Fatal(err)
 	}
 	st := fsys.Stats()

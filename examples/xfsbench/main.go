@@ -12,7 +12,6 @@ import (
 	"log"
 
 	now "github.com/nowproject/now"
-	"github.com/nowproject/now/internal/sim"
 )
 
 func main() {
@@ -74,7 +73,7 @@ func main() {
 		fmt.Println("metadata failover complete: reads and writes continue")
 		e.Stop()
 	})
-	if err := e.Run(); !errors.Is(err, sim.ErrStopped) {
+	if err := e.Run(); !errors.Is(err, now.ErrStopped) {
 		log.Fatal(err)
 	}
 	st := fsys.Stats()

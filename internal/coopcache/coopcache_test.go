@@ -389,3 +389,62 @@ func TestWriteThroughDurability(t *testing.T) {
 		}
 	})
 }
+
+func TestReadRangeMatchesSerialStats(t *testing.T) {
+	const n = 6
+	// Two identically-seeded systems: one scans serially, one vectored.
+	serial := func() Stats {
+		e, sys := build(t, smallConfig(NChance))
+		drive(t, e, func(p *sim.Proc) {
+			for i := uint32(0); i < n; i++ {
+				sys.Client(0).Read(p, blk(1, i))
+			}
+		})
+		e.Close()
+		return sys.Stats()
+	}()
+	e, sys := build(t, smallConfig(NChance))
+	drive(t, e, func(p *sim.Proc) {
+		sys.Client(0).ReadRange(p, blk(1, 0), n)
+	})
+	e.Close()
+	got := sys.Stats()
+	if got.Reads != serial.Reads || got.DiskReads != serial.DiskReads {
+		t.Fatalf("vectored stats diverge: serial %+v, range %+v", serial, got)
+	}
+}
+
+func TestReadRangeFasterThanSerial(t *testing.T) {
+	const n = 8
+	elapsed := func(vectored bool) sim.Duration {
+		e, sys := build(t, smallConfig(Greedy))
+		var d sim.Duration
+		drive(t, e, func(p *sim.Proc) {
+			t0 := p.Now()
+			if vectored {
+				sys.Client(1).ReadRange(p, blk(2, 0), n)
+			} else {
+				for i := uint32(0); i < n; i++ {
+					sys.Client(1).Read(p, blk(2, i))
+				}
+			}
+			d = sim.Duration(p.Now() - t0)
+		})
+		e.Close()
+		return d
+	}
+	serial, ranged := elapsed(false), elapsed(true)
+	if ranged >= serial {
+		t.Fatalf("ReadRange not faster: serial %v, range %v", serial, ranged)
+	}
+}
+
+func TestReadRangeZeroCountIsNoOp(t *testing.T) {
+	e, sys := build(t, smallConfig(Greedy))
+	drive(t, e, func(p *sim.Proc) {
+		sys.Client(0).ReadRange(p, blk(1, 0), 0)
+	})
+	if sys.Stats().Reads != 0 {
+		t.Fatalf("zero-count range read counted reads: %+v", sys.Stats())
+	}
+}

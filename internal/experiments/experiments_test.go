@@ -241,3 +241,25 @@ func TestSWRAIDScaling(t *testing.T) {
 		}
 	}
 }
+
+func TestSeqScanSpeedup(t *testing.T) {
+	cfg := DefaultSeqScanConfig()
+	cfg.Sizes = []int{32}
+	rep, rows, err := SeqScan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "ST2" || len(rows) != 1 {
+		t.Fatalf("report %q rows %d", rep.ID, len(rows))
+	}
+	r := rows[0]
+	if r.Speedup < 2 {
+		t.Fatalf("pipelined scan not ≥2x at %d nodes: %+v", r.Nodes, r)
+	}
+	if r.RangeReads == 0 || r.BatchedTokens == 0 || r.PrefetchHits == 0 {
+		t.Fatalf("pipelined machinery unused: %+v", r)
+	}
+	if len(rep.Obs) != 2 {
+		t.Fatalf("want serial+pipelined registries, got %d", len(rep.Obs))
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/nowproject/now/internal/obs"
+	"github.com/nowproject/now/internal/sim"
+	"github.com/nowproject/now/internal/stats"
+	"github.com/nowproject/now/internal/xfs"
+)
+
+// SeqScanConfig parameterises the ST2 sequential-scan study.
+type SeqScanConfig struct {
+	// Sizes are the cluster sizes to sweep.
+	Sizes []int
+	// Blocks is the file length of the scanned file, in blocks.
+	Blocks int
+	// BlockBytes is the xFS block (and RAID chunk) size.
+	BlockBytes int
+	// Window is the ReadAt span used by the pipelined scan.
+	Window int
+	// CacheBlocks bounds the reader's cache well below the file size,
+	// so the scan stays cold and measures the data path, not the cache.
+	CacheBlocks int
+}
+
+// DefaultSeqScanConfig sweeps the paper's building-block sizes.
+func DefaultSeqScanConfig() SeqScanConfig {
+	return SeqScanConfig{
+		Sizes:       []int{8, 32, 128},
+		Blocks:      64,
+		BlockBytes:  4096,
+		Window:      16,
+		CacheBlocks: 40,
+	}
+}
+
+// SeqScanRow is one cluster size of the ST2 study.
+type SeqScanRow struct {
+	Nodes         int
+	SerialMBps    float64 // block-at-a-time Read on the serial protocol
+	PipelinedMBps float64 // ReadAt windows + range tokens + read-ahead
+	Speedup       float64
+	RangeReads    int64 // manager round trips saved to this many
+	BatchedTokens int64 // block tokens granted through them
+	PrefetchHits  int64
+}
+
+// SeqScan is experiment ST2: cold sequential-read bandwidth through
+// xFS before and after pipelining the data path. The serial protocol
+// pays one manager round trip and one fetch per block, so a scan runs
+// at request latency regardless of how much aggregate disk and network
+// bandwidth the building has — exactly the gap the paper's "opportunity
+// of the network as backplane" argument says a NOW should close. The
+// pipelined path batches the round trips into range tokens, overlaps
+// peer and stripe fetches, and read-ahead keeps the array busy while
+// the application consumes; the speedup column is what that buys at
+// each cluster size.
+func SeqScan(cfg SeqScanConfig) (Report, []SeqScanRow, error) {
+	if cfg.Blocks <= 0 {
+		cfg.Blocks = 64
+	}
+	if cfg.BlockBytes <= 0 {
+		cfg.BlockBytes = 4096
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 16
+	}
+	if cfg.CacheBlocks <= 0 {
+		cfg.CacheBlocks = 32
+	}
+	rows := make([]SeqScanRow, 0, len(cfg.Sizes))
+	regs := make(map[string]*obs.Registry, 2*len(cfg.Sizes))
+	for _, n := range cfg.Sizes {
+		serial, sReg, _, err := seqScanOne(n, cfg, false)
+		if err != nil {
+			return Report{}, nil, fmt.Errorf("st2 n=%d serial: %w", n, err)
+		}
+		pipelined, pReg, st, err := seqScanOne(n, cfg, true)
+		if err != nil {
+			return Report{}, nil, fmt.Errorf("st2 n=%d pipelined: %w", n, err)
+		}
+		rows = append(rows, SeqScanRow{
+			Nodes:         n,
+			SerialMBps:    serial,
+			PipelinedMBps: pipelined,
+			Speedup:       ratio(pipelined, serial),
+			RangeReads:    st.RangeReads,
+			BatchedTokens: st.BatchedTokens,
+			PrefetchHits:  st.PrefetchHits,
+		})
+		regs[fmt.Sprintf("n%04d-serial", n)] = sReg
+		regs[fmt.Sprintf("n%04d-pipelined", n)] = pReg
+	}
+	table := stats.NewTable("ST2: xFS sequential scan, serial vs pipelined data path",
+		"nodes", "serial MB/s", "pipelined MB/s", "speedup", "range RPCs", "tokens/RPC", "prefetch hits")
+	for _, r := range rows {
+		perRPC := "-"
+		if r.RangeReads > 0 {
+			perRPC = fmt.Sprintf("%.1f", float64(r.BatchedTokens)/float64(r.RangeReads))
+		}
+		table.AddRow(
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%.2f", r.SerialMBps),
+			fmt.Sprintf("%.2f", r.PipelinedMBps),
+			fmt.Sprintf("%.2f", r.Speedup),
+			fmt.Sprintf("%d", r.RangeReads),
+			perRPC,
+			fmt.Sprintf("%d", r.PrefetchHits),
+		)
+	}
+	return Report{
+		ID:    "ST2",
+		Title: "xFS cold sequential-read bandwidth, serial vs pipelined",
+		Table: table,
+		Notes: fmt.Sprintf("%d×%d-byte blocks per scan, %d-block ReadAt windows, %d-block reader cache; pipelined = range tokens + vectored stripe reads + 8-block read-ahead + write-behind",
+			cfg.Blocks, cfg.BlockBytes, cfg.Window, cfg.CacheBlocks),
+		Obs: regs,
+	}, rows, nil
+}
+
+// seqScanOne measures one cold scan at one cluster size and returns
+// the virtual-time bandwidth, the run's registry, and the xFS stats.
+func seqScanOne(n int, cfg SeqScanConfig, pipelined bool) (float64, *obs.Registry, xfs.Stats, error) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	reg := obs.NewRegistry()
+	e.Observe(reg)
+	xcfg := xfs.DefaultConfig(n)
+	if pipelined {
+		xcfg = xfs.PipelinedConfig(n)
+	}
+	xcfg.BlockBytes = cfg.BlockBytes
+	xcfg.ClientCacheBlocks = cfg.CacheBlocks
+	sys, err := xfs.New(e, xcfg)
+	if err != nil {
+		return 0, nil, xfs.Stats{}, err
+	}
+	sys.Instrument(reg)
+	var mbps float64
+	var procErr error
+	e.Spawn("st2", func(p *sim.Proc) {
+		defer e.Stop()
+		w := sys.Client(0)
+		data := make([]byte, cfg.BlockBytes)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		for blk := 0; blk < cfg.Blocks; blk++ {
+			if err := w.Write(p, 1, uint32(blk), data); err != nil {
+				procErr = err
+				return
+			}
+		}
+		if err := w.Sync(p); err != nil {
+			procErr = err
+			return
+		}
+		// The reader is far from both the writer and the managers; its
+		// cache holds half the file at most, so the scan stays cold.
+		r := sys.Client(n / 2)
+		t0 := p.Now()
+		if pipelined {
+			for blk := 0; blk < cfg.Blocks; blk += cfg.Window {
+				span := cfg.Window
+				if rem := cfg.Blocks - blk; rem < span {
+					span = rem
+				}
+				if _, err := r.ReadAt(p, 1, uint32(blk), span); err != nil {
+					procErr = err
+					return
+				}
+			}
+		} else {
+			for blk := 0; blk < cfg.Blocks; blk++ {
+				if _, err := r.Read(p, 1, uint32(blk)); err != nil {
+					procErr = err
+					return
+				}
+			}
+		}
+		elapsed := p.Now() - t0
+		mbps = float64(cfg.Blocks*cfg.BlockBytes) / elapsed.Seconds() / 1e6
+	})
+	if err := e.Run(); err != nil && !errors.Is(err, sim.ErrStopped) {
+		return 0, nil, xfs.Stats{}, err
+	}
+	if procErr != nil {
+		return 0, nil, xfs.Stats{}, procErr
+	}
+	return mbps, reg, sys.Stats(), nil
+}

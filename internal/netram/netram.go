@@ -36,6 +36,10 @@ const (
 // each node), while every page *transfer* pays full communication costs.
 type Registry struct {
 	servers map[netsim.NodeID]*Server
+	// ids keeps the offered servers in ascending id order. Every walk
+	// of the directory goes through it — iterating the map directly
+	// would make selection depend on Go's randomized map order.
+	ids []netsim.NodeID
 }
 
 // NewRegistry creates an empty directory.
@@ -43,34 +47,50 @@ func NewRegistry() *Registry {
 	return &Registry{servers: make(map[netsim.NodeID]*Server)}
 }
 
-// Offer registers a server's free frames.
-func (r *Registry) Offer(s *Server) { r.servers[s.ep.ID()] = s }
+// Offer registers a server's free frames. Re-offering an id replaces
+// its entry.
+func (r *Registry) Offer(s *Server) {
+	id := s.ep.ID()
+	if _, ok := r.servers[id]; !ok {
+		i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
+		r.ids = append(r.ids, 0)
+		copy(r.ids[i+1:], r.ids[i:])
+		r.ids[i] = id
+	}
+	r.servers[id] = s
+}
 
 // Withdraw removes a server from the directory (its pages stay stored
 // until Reclaim).
-func (r *Registry) Withdraw(id netsim.NodeID) { delete(r.servers, id) }
+func (r *Registry) Withdraw(id netsim.NodeID) {
+	if _, ok := r.servers[id]; !ok {
+		return
+	}
+	delete(r.servers, id)
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
+	r.ids = append(r.ids[:i], r.ids[i+1:]...)
+}
 
 // Pick returns a server with free frames, excluding self; ok=false when
 // the network has no spare memory. Selection is lowest-id-first for
 // determinism.
 func (r *Registry) Pick(self netsim.NodeID) (*Server, bool) {
-	var best *Server
-	for id, s := range r.servers {
-		if id == self || s.free <= 0 {
+	for _, id := range r.ids {
+		if id == self {
 			continue
 		}
-		if best == nil || id < best.ep.ID() {
-			best = s
+		if s := r.servers[id]; s.free > 0 {
+			return s, true
 		}
 	}
-	return best, best != nil
+	return nil, false
 }
 
 // TotalFree sums free frames across offered servers.
 func (r *Registry) TotalFree() int {
 	n := 0
-	for _, s := range r.servers {
-		n += s.free
+	for _, id := range r.ids {
+		n += r.servers[id].free
 	}
 	return n
 }

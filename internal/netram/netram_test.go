@@ -340,3 +340,61 @@ func TestServerCrashLosesPagesVisibly(t *testing.T) {
 		t.Fatalf("lost page not counted: %+v", st)
 	}
 }
+
+// TestPickDeterministicAcrossRuns is a regression test for the
+// directory's selection order: Pick must walk servers in ascending id
+// order regardless of the (randomised) order they were offered in or
+// how Go happens to lay out the backing map. It drains a multi-server
+// registry — withdrawing and re-offering along the way — and requires
+// the exact same selection sequence on every run.
+func TestPickDeterministicAcrossRuns(t *testing.T) {
+	sequence := func(offerOrder []int) []netsim.NodeID {
+		r := newRig(t, 1<<20, 5, 2)
+		// Re-offer in the caller's order; Offer replaces entries, so the
+		// directory contents are identical either way.
+		for _, i := range offerOrder {
+			r.reg.Offer(r.servers[i])
+		}
+		var got []netsim.NodeID
+		for {
+			s, ok := r.reg.Pick(r.client.ID())
+			if !ok {
+				break
+			}
+			got = append(got, s.ep.ID())
+			s.free--
+			if len(got) == 3 {
+				// Mid-drain churn: the lowest-id server leaves and comes
+				// back. Its remaining frames must be picked again, still
+				// in id order.
+				r.reg.Withdraw(r.servers[0].ep.ID())
+				r.reg.Offer(r.servers[0])
+			}
+		}
+		if r.reg.TotalFree() != 0 {
+			t.Fatalf("drain left %d free frames", r.reg.TotalFree())
+		}
+		return got
+	}
+
+	want := sequence([]int{0, 1, 2, 3, 4})
+	if len(want) != 10 {
+		t.Fatalf("drained %d picks, want 10", len(want))
+	}
+	for i := 1; i < len(want); i++ {
+		if want[i] < want[i-1] {
+			t.Fatalf("selection not in id order: %v", want)
+		}
+	}
+	for run := 0; run < 20; run++ {
+		got := sequence([]int{4, 2, 0, 3, 1})
+		if len(got) != len(want) {
+			t.Fatalf("run %d: drained %d picks, want %d", run, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("run %d: pick %d chose node %d, want %d", run, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -97,3 +97,7 @@ func (e *Engine) Observe(r *obs.Registry) {
 		now.Set(int64(e.now))
 	})
 }
+
+// Instrument is Observe under the name every other subsystem uses, so
+// the engine satisfies the front door's Instrumentable interface.
+func (e *Engine) Instrument(r *obs.Registry) { e.Observe(r) }

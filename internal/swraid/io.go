@@ -85,6 +85,40 @@ func (a *Array) ReadChunks(p *sim.Proc, start int64, count int) ([]byte, error) 
 	return out, nil
 }
 
+// ReadVec reads an arbitrary set of logical chunks — not necessarily
+// contiguous — issuing every per-disk request concurrently and
+// reconstructing through redundancy where stores have failed. It is the
+// scatter counterpart of ReadChunks: a pipelined client hands the whole
+// batch over at once and the array schedules all disks in parallel, so
+// a stripe run completes in roughly one disk access rather than one per
+// chunk.
+func (a *Array) ReadVec(p *sim.Proc, logicals []int64) ([][]byte, error) {
+	if len(logicals) == 0 {
+		return nil, nil
+	}
+	a.reads++
+	out := make([][]byte, len(logicals))
+	ops := make([]func(wp *sim.Proc) error, len(logicals))
+	for i := range logicals {
+		i := i
+		logical := logicals[i]
+		ops[i] = func(wp *sim.Proc) error {
+			data, err := a.readLogical(wp, logical)
+			if err != nil {
+				return err
+			}
+			out[i] = data
+			return nil
+		}
+	}
+	for _, err := range a.parallel(p, ops) {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // readLogical reads one logical chunk, degrading as needed.
 func (a *Array) readLogical(p *sim.Proc, logical int64) ([]byte, error) {
 	node, off, stripe, parityNode := a.layout(logical)
@@ -160,32 +194,68 @@ func (a *Array) WriteChunks(p *sim.Proc, start int64, data []byte) error {
 	if count*a.cfg.ChunkBytes != len(data) {
 		return fmt.Errorf("swraid: write of %d bytes not chunk-aligned (%d)", len(data), a.cfg.ChunkBytes)
 	}
+	logicals := make([]int64, count)
+	chunks := make([][]byte, count)
+	for i := 0; i < count; i++ {
+		logicals[i] = start + int64(i)
+		chunks[i] = data[i*a.cfg.ChunkBytes : (i+1)*a.cfg.ChunkBytes]
+	}
 	a.writes++
+	return a.writePairs(p, logicals, chunks)
+}
+
+// WriteVec writes an arbitrary (ascending, duplicate-free) set of
+// logical chunks in one vectored operation: chunks sharing a RAID-5
+// stripe are committed with a single parity update, and independent
+// stripes are issued to the disks concurrently. This is the write-side
+// fan-out primitive for group commit — a caller flushing a write-behind
+// buffer gets aggregate-disk bandwidth rather than chunk-at-a-time
+// latency.
+func (a *Array) WriteVec(p *sim.Proc, logicals []int64, chunks [][]byte) error {
+	if len(logicals) != len(chunks) {
+		return fmt.Errorf("swraid: WriteVec of %d logicals with %d chunks", len(logicals), len(chunks))
+	}
+	for i, c := range chunks {
+		if len(c) != a.cfg.ChunkBytes {
+			return fmt.Errorf("swraid: WriteVec chunk %d is %d bytes, want %d", i, len(c), a.cfg.ChunkBytes)
+		}
+		if i > 0 && logicals[i] <= logicals[i-1] {
+			return fmt.Errorf("swraid: WriteVec logicals not strictly ascending at %d", i)
+		}
+	}
+	if len(logicals) == 0 {
+		return nil
+	}
+	a.writes++
+	return a.writePairs(p, logicals, chunks)
+}
+
+// writePairs dispatches (logical, chunk) pairs — already ascending —
+// to the level-specific write strategy.
+func (a *Array) writePairs(p *sim.Proc, logicals []int64, chunks [][]byte) error {
 	switch a.cfg.Level {
 	case RAID5:
-		return a.writeRAID5(p, start, data, count)
+		return a.writeRAID5(p, logicals, chunks)
 	case RAID1:
-		return a.writeRAID1(p, start, data, count)
+		return a.writeRAID1(p, logicals, chunks)
 	default:
-		ops := make([]func(wp *sim.Proc) error, count)
-		for i := 0; i < count; i++ {
-			i := i
-			logical := start + int64(i)
-			node, off, _, _ := a.layout(logical)
-			chunk := data[i*a.cfg.ChunkBytes : (i+1)*a.cfg.ChunkBytes]
+		ops := make([]func(wp *sim.Proc) error, len(logicals))
+		for i := range logicals {
+			node, off, _, _ := a.layout(logicals[i])
+			chunk := chunks[i]
 			ops[i] = func(wp *sim.Proc) error { return a.writeChunk(wp, node, off, chunk) }
 		}
 		return firstError(a.parallel(p, ops))
 	}
 }
 
-func (a *Array) writeRAID1(p *sim.Proc, start int64, data []byte, count int) error {
-	ops := make([]func(wp *sim.Proc) error, 0, 2*count)
-	for i := 0; i < count; i++ {
-		logical := start + int64(i)
+func (a *Array) writeRAID1(p *sim.Proc, logicals []int64, chunks [][]byte) error {
+	ops := make([]func(wp *sim.Proc) error, 0, 2*len(logicals))
+	for i := range logicals {
+		logical := logicals[i]
 		node, off, _, _ := a.layout(logical)
 		mirror := a.mirrorOf(logical)
-		chunk := data[i*a.cfg.ChunkBytes : (i+1)*a.cfg.ChunkBytes]
+		chunk := chunks[i]
 		type target struct {
 			dst netsim.NodeID
 			off int64
@@ -212,26 +282,26 @@ func (a *Array) writeRAID1(p *sim.Proc, start int64, data []byte, count int) err
 }
 
 // writeRAID5 groups the write by stripe. Full stripes compute parity
-// from the new data; partial stripes read-modify-write.
-func (a *Array) writeRAID5(p *sim.Proc, start int64, data []byte, count int) error {
+// from the new data; partial stripes read-modify-write. Stripes are
+// committed concurrently (ascending logicals mean each stripe appears
+// exactly once).
+func (a *Array) writeRAID5(p *sim.Proc, logicals []int64, chunks [][]byte) error {
 	d := int64(a.dataPerStripe())
-	cb := a.cfg.ChunkBytes
 	type stripeWrite struct {
 		stripe   int64
 		logicals []int64
 		chunks   [][]byte
 	}
 	var stripes []stripeWrite
-	for i := 0; i < count; i++ {
-		logical := start + int64(i)
+	for i := range logicals {
+		logical := logicals[i]
 		s := logical / d
-		chunk := data[i*cb : (i+1)*cb]
 		if len(stripes) == 0 || stripes[len(stripes)-1].stripe != s {
 			stripes = append(stripes, stripeWrite{stripe: s})
 		}
 		sw := &stripes[len(stripes)-1]
 		sw.logicals = append(sw.logicals, logical)
-		sw.chunks = append(sw.chunks, chunk)
+		sw.chunks = append(sw.chunks, chunks[i])
 	}
 	ops := make([]func(wp *sim.Proc) error, len(stripes))
 	for i := range stripes {

@@ -86,3 +86,87 @@ func BenchmarkXFSReadDegraded(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkXFSSeqScan measures a cold sequential scan of one file two
+// ways — block-at-a-time Read on the serial protocol vs ReadAt windows
+// on the pipelined path (range tokens + read-ahead + vectored stripe
+// reads) — and reports both in virtual-time MB/s plus the speedup. This
+// is the headline number for the pipelined data path: the gap is what
+// batching the manager round trips and overlapping the fetches buys.
+func BenchmarkXFSSeqScan(b *testing.B) {
+	const (
+		nodes     = 8
+		blockSize = 4096
+		blocks    = 64
+		window    = 16
+	)
+	mbps := func(nbytes int64, d sim.Duration) float64 {
+		return float64(nbytes) / 1e6 / (float64(d) / float64(sim.Second))
+	}
+	scan := func(cfg Config, vectored bool) sim.Duration {
+		e := sim.NewEngine(1)
+		defer e.Close()
+		sys, err := New(e, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var elapsed sim.Duration
+		e.Spawn("bench", func(p *sim.Proc) {
+			defer e.Stop()
+			w := sys.Client(0)
+			data := fill(blockSize, 7)
+			for blk := 0; blk < blocks; blk++ {
+				if err := w.Write(p, 1, uint32(blk), data); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if err := w.Sync(p); err != nil {
+				b.Error(err)
+				return
+			}
+			r := sys.Client(3)
+			t0 := p.Now()
+			if vectored {
+				for blk := 0; blk < blocks; blk += window {
+					if _, err := r.ReadAt(p, 1, uint32(blk), window); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			} else {
+				for blk := 0; blk < blocks; blk++ {
+					if _, err := r.Read(p, 1, uint32(blk)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+			elapsed = sim.Duration(p.Now() - t0)
+		})
+		if err := e.Run(); err != nil && !errors.Is(err, sim.ErrStopped) {
+			b.Fatal(err)
+		}
+		return elapsed
+	}
+	var serialMBps, pipelinedMBps float64
+	for i := 0; i < b.N; i++ {
+		base := DefaultConfig(nodes)
+		base.BlockBytes = blockSize
+		base.ClientCacheBlocks = 8
+		serial := scan(base, false)
+
+		pipe := PipelinedConfig(nodes)
+		pipe.BlockBytes = blockSize
+		pipe.ClientCacheBlocks = 2 * window
+		pipelined := scan(pipe, true)
+
+		if i == 0 {
+			serialMBps = mbps(blocks*blockSize, serial)
+			pipelinedMBps = mbps(blocks*blockSize, pipelined)
+		}
+	}
+	b.ReportMetric(serialMBps, "serial-MBps")
+	b.ReportMetric(pipelinedMBps, "pipelined-MBps")
+	b.ReportMetric(pipelinedMBps/serialMBps, "speedup")
+}

@@ -20,6 +20,9 @@ type cachedBlock struct {
 	data  []byte
 	dirty bool // this client owns the block
 	addr  int64
+	// prefetched marks a block brought in by the read-ahead pipeline
+	// that no Read has consumed yet (prefetch hit/waste accounting).
+	prefetched bool
 }
 
 // Client is one node's view of the file system.
@@ -28,6 +31,15 @@ type Client struct {
 	node  int
 	array *swraid.Array
 	cache *lru.Cache[BlockKey, *cachedBlock]
+
+	// Sequential-access detector state for read-ahead: the block we
+	// expect a sequential reader to ask for next, and the run length so
+	// far. A prefetch is in flight while prefetching is true (one
+	// outstanding read-ahead per client keeps the pipeline bounded).
+	seqFile     FileID
+	seqNext     uint32
+	seqRun      int
+	prefetching bool
 }
 
 // tokArgs is a token request.
@@ -82,64 +94,65 @@ func (m *manager) lookup(key BlockKey) *blockMeta {
 	return bm
 }
 
-// onReadTok grants a read token: the reply tells the client where the
-// freshest copy is. A dirty owner is downgraded (it writes back and
+// grantRead is the read-token core: the reply tells the client where
+// the freshest copy is. A dirty owner is downgraded (it writes back and
 // becomes a reader) so storage and caches converge.
-func (m *manager) onReadTok(p *sim.Proc, msg am.Msg) (any, int) {
-	args, ok := msg.Arg.(tokArgs)
-	if !ok {
-		return nil, 0
-	}
-	bm := m.lookup(args.key)
+func (m *manager) grantRead(p *sim.Proc, key BlockKey, node int) tokReply {
+	bm := m.lookup(key)
 	rep := tokReply{fetchFrom: -1, addr: bm.addr}
-	if bm.owner >= 0 && bm.owner != args.node {
+	if bm.owner >= 0 && bm.owner != node {
 		// Downgrade the owner: it writes the block back and keeps a
 		// clean copy; the reader fetches cache-to-cache from it.
 		if _, err := m.sys.eps[m.node].Call(p, netsim.NodeID(bm.owner), hYield,
-			tokArgs{key: args.key, node: args.node}, 32); err == nil {
+			tokArgs{key: key, node: node}, 32); err == nil {
 			bm.readers[bm.owner] = struct{}{}
 			rep.fetchFrom = bm.owner
 			bm.written = true
 		}
 		bm.owner = -1
-	} else if bm.owner == args.node {
-		rep.fetchFrom = args.node // it already has the freshest copy
+	} else if bm.owner == node {
+		rep.fetchFrom = node // it already has the freshest copy
 	} else {
 		// Cooperative caching: serve from any current reader.
 		best := -1
 		for r := range bm.readers {
-			if r != args.node && (best < 0 || r < best) {
+			if r != node && (best < 0 || r < best) {
 				best = r
 			}
 		}
 		rep.fetchFrom = best
 	}
-	bm.readers[args.node] = struct{}{}
+	bm.readers[node] = struct{}{}
 	rep.written = bm.written
 	rep.addr = bm.addr
-	m.replicate(p, args.key, bm)
-	return rep, 48
+	m.replicate(p, key, bm)
+	return rep
 }
 
-// onWriteTok grants ownership: every other copy is invalidated, and if
-// a previous owner exists its data migrates with the grant.
-func (m *manager) onWriteTok(p *sim.Proc, msg am.Msg) (any, int) {
+// onReadTok grants a single read token.
+func (m *manager) onReadTok(p *sim.Proc, msg am.Msg) (any, int) {
 	args, ok := msg.Arg.(tokArgs)
 	if !ok {
 		return nil, 0
 	}
-	bm := m.lookup(args.key)
+	return m.grantRead(p, args.key, args.node), 48
+}
+
+// grantWrite is the ownership core: every other copy is invalidated,
+// and if a previous owner exists its data migrates with the grant.
+func (m *manager) grantWrite(p *sim.Proc, key BlockKey, node int) tokReply {
+	bm := m.lookup(key)
 	rep := tokReply{fetchFrom: -1, addr: bm.addr, written: bm.written}
 	ep := m.sys.eps[m.node]
-	if bm.owner >= 0 && bm.owner != args.node {
+	if bm.owner >= 0 && bm.owner != node {
 		sp := m.sys.obs.StartSpan("xfs.ownership.transfer", m.node)
 		if sp != 0 {
-			m.sys.obs.Annotate(sp, fmt.Sprintf("owner %d → %d", bm.owner, args.node))
+			m.sys.obs.Annotate(sp, fmt.Sprintf("owner %d → %d", bm.owner, node))
 		}
 		// Migrate ownership: the old owner yields its (possibly dirty)
 		// data, which rides back through the grant.
 		if reply, err := ep.Call(p, netsim.NodeID(bm.owner), hYield,
-			tokArgs{key: args.key, node: args.node, write: true}, 32); err == nil {
+			tokArgs{key: key, node: node, write: true}, 32); err == nil {
 			if data, ok := reply.([]byte); ok {
 				rep.data = data
 				bm.written = true
@@ -152,25 +165,31 @@ func (m *manager) onWriteTok(p *sim.Proc, msg am.Msg) (any, int) {
 	}
 	// Invalidate all readers (deterministic order).
 	for r := 0; r < m.sys.cfg.Nodes; r++ {
-		if _, isReader := bm.readers[r]; !isReader || r == args.node {
+		if _, isReader := bm.readers[r]; !isReader || r == node {
 			continue
 		}
-		_ = ep.Send(p, netsim.NodeID(r), hInval, args.key, 24)
+		_ = ep.Send(p, netsim.NodeID(r), hInval, key, 24)
 		m.sys.stats.Invalidations++
 		delete(bm.readers, r)
 	}
-	delete(bm.readers, args.node)
-	bm.owner = args.node
-	m.replicate(p, args.key, bm)
-	return rep, 48 + len(rep.data)
+	delete(bm.readers, node)
+	bm.owner = node
+	m.replicate(p, key, bm)
+	return rep
 }
 
-// onEvictNote keeps the directory accurate when clients drop copies.
-func (m *manager) onEvictNote(p *sim.Proc, msg am.Msg) (any, int) {
-	args, ok := msg.Arg.(evictArgs)
+// onWriteTok grants single-block ownership.
+func (m *manager) onWriteTok(p *sim.Proc, msg am.Msg) (any, int) {
+	args, ok := msg.Arg.(tokArgs)
 	if !ok {
 		return nil, 0
 	}
+	rep := m.grantWrite(p, args.key, args.node)
+	return rep, 48 + len(rep.data)
+}
+
+// applyEvict is the directory update behind evict/sync notes.
+func (m *manager) applyEvict(p *sim.Proc, args evictArgs) {
 	if bm, ok := m.meta[args.key]; ok {
 		if args.sync {
 			bm.readers[args.node] = struct{}{}
@@ -183,6 +202,15 @@ func (m *manager) onEvictNote(p *sim.Proc, msg am.Msg) (any, int) {
 		}
 		m.replicate(p, args.key, bm)
 	}
+}
+
+// onEvictNote keeps the directory accurate when clients drop copies.
+func (m *manager) onEvictNote(p *sim.Proc, msg am.Msg) (any, int) {
+	args, ok := msg.Arg.(evictArgs)
+	if !ok {
+		return nil, 0
+	}
+	m.applyEvict(p, args)
 	return nil, 0
 }
 
@@ -255,6 +283,9 @@ func (c *Client) insert(p *sim.Proc, key BlockKey, cb *cachedBlock) {
 	if !evicted {
 		return
 	}
+	if vVal.prefetched {
+		c.sys.stats.PrefetchWasted++
+	}
 	if vVal.dirty {
 		if err := c.array.WriteChunks(p, vVal.addr, vVal.data); err == nil {
 			c.sys.stats.StorageWrites++
@@ -265,16 +296,36 @@ func (c *Client) insert(p *sim.Proc, key BlockKey, cb *cachedBlock) {
 		evictArgs{key: vKey, node: c.node}, 32)
 }
 
+// getLocal serves a read from the local cache, consuming the prefetch
+// mark: a block the read-ahead pipeline staged counts as a hit the
+// first time a Read actually uses it.
+func (c *Client) getLocal(key BlockKey) ([]byte, bool) {
+	cb, ok := c.cache.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if cb.prefetched {
+		cb.prefetched = false
+		c.sys.stats.PrefetchHits++
+	}
+	out := make([]byte, len(cb.data))
+	copy(out, cb.data)
+	return out, true
+}
+
 // Read returns the block's contents, obtaining a read token and the
-// freshest copy from wherever it lives.
+// freshest copy from wherever it lives. When the configuration enables
+// read-ahead, a detected sequential run prefetches the next blocks
+// concurrently with the application (see pipeline.go).
 func (c *Client) Read(p *sim.Proc, f FileID, blk uint32) ([]byte, error) {
 	key := BlockKey{File: f, Block: blk}
 	c.sys.stats.Reads++
-	if cb, ok := c.cache.Get(key); ok {
+	// The detector runs before the fetch so a triggered read-ahead
+	// overlaps this block's own miss instead of starting after it.
+	c.noteSequential(p, f, blk)
+	if data, ok := c.getLocal(key); ok {
 		c.sys.stats.LocalHits++
-		out := make([]byte, len(cb.data))
-		copy(out, cb.data)
-		return out, nil
+		return data, nil
 	}
 	mgr := c.sys.managerOf(f)
 	reply, err := c.sys.eps[c.node].Call(p, netsim.NodeID(mgr.node), hReadTok,
@@ -341,8 +392,15 @@ func (c *Client) Write(p *sim.Proc, f FileID, blk uint32, data []byte) error {
 	return nil
 }
 
-// Sync writes back every dirty block this client owns.
+// Sync writes back every dirty block this client owns. With
+// Config.WriteBehind set it is a group commit: one vectored RAID write
+// covers every dirty block (stripes issued concurrently) and the
+// per-manager sync notes travel in batches; otherwise each block is
+// written back serially, the pre-pipeline behaviour.
 func (c *Client) Sync(p *sim.Proc) error {
+	if c.sys.cfg.WriteBehind {
+		return c.groupCommit(p)
+	}
 	var firstErr error
 	for _, key := range c.cache.Keys() {
 		cb, ok := c.cache.Peek(key)

@@ -19,6 +19,14 @@ import "github.com/nowproject/now/internal/obs"
 //	xfs.invalidations         reader copies invalidated on write (sampled)
 //	xfs.owner.yields          ownership migrations between writers (sampled)
 //	xfs.failovers             manager failovers to the standby (sampled)
+//	xfs.batch.range.reads     range-token read round trips (sampled)
+//	xfs.batch.range.writes    range-token write round trips (sampled)
+//	xfs.batch.tokens          block tokens granted via range messages (sampled)
+//	xfs.batch.evicts          sync/evict notes delivered in batches (sampled)
+//	xfs.batch.commits         write-behind group commits (sampled)
+//	xfs.prefetch.issued       blocks fetched by read-ahead (sampled)
+//	xfs.prefetch.hits         reads served by a prefetched block (sampled)
+//	xfs.prefetch.wasted       prefetched blocks evicted unread (sampled)
 func (sys *System) Instrument(r *obs.Registry) {
 	if r == nil {
 		return
@@ -37,6 +45,14 @@ func (sys *System) Instrument(r *obs.Registry) {
 		{"xfs.invalidations", func(s *Stats) int64 { return s.Invalidations }},
 		{"xfs.owner.yields", func(s *Stats) int64 { return s.OwnerYields }},
 		{"xfs.failovers", func(s *Stats) int64 { return s.Failovers }},
+		{"xfs.batch.range.reads", func(s *Stats) int64 { return s.RangeReads }},
+		{"xfs.batch.range.writes", func(s *Stats) int64 { return s.RangeWrites }},
+		{"xfs.batch.tokens", func(s *Stats) int64 { return s.BatchedTokens }},
+		{"xfs.batch.evicts", func(s *Stats) int64 { return s.BatchedEvicts }},
+		{"xfs.batch.commits", func(s *Stats) int64 { return s.GroupCommits }},
+		{"xfs.prefetch.issued", func(s *Stats) int64 { return s.PrefetchIssued }},
+		{"xfs.prefetch.hits", func(s *Stats) int64 { return s.PrefetchHits }},
+		{"xfs.prefetch.wasted", func(s *Stats) int64 { return s.PrefetchWasted }},
 	}
 	gs := make([]*obs.Gauge, len(mirror))
 	for i, m := range mirror {

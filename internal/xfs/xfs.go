@@ -49,6 +49,11 @@ const (
 	hInval
 	hEvictNote
 	hMetaRepl
+	// Range-token and batch handlers: one round trip covers a contiguous
+	// block run (the pipelined data path, DESIGN.md §9).
+	hReadRangeTok
+	hWriteRangeTok
+	hEvictBatch
 )
 
 // FileID names a file; BlockNo a block within it.
@@ -81,6 +86,17 @@ type Config struct {
 	// Fabric and Proto choose the communication substrate.
 	Fabric func(nodes int) netsim.Config
 	Proto  am.Config
+
+	// ReadAhead enables the sequential-scan pipeline: when a client
+	// detects a sequential access run, it prefetches the next ReadAhead
+	// blocks concurrently (range token, overlapped peer-cache fetches
+	// and stripe reads). Zero disables prefetching — the strictly
+	// serial pre-pipeline behaviour.
+	ReadAhead int
+	// WriteBehind enables group commit: Sync flushes all dirty blocks
+	// through one vectored RAID write and batches the per-manager evict
+	// notes, instead of one blocking write per block.
+	WriteBehind bool
 }
 
 // DefaultConfig returns a building-scale configuration: RAID-5 storage,
@@ -102,6 +118,16 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// PipelinedConfig is DefaultConfig with the pipelined data path on:
+// 8-block read-ahead and write-behind group commit. Sequential scans
+// run at pipeline bandwidth instead of single-request latency.
+func PipelinedConfig(nodes int) Config {
+	cfg := DefaultConfig(nodes)
+	cfg.ReadAhead = 8
+	cfg.WriteBehind = true
+	return cfg
 }
 
 // blockMeta is a manager's state for one block.
@@ -162,6 +188,16 @@ type Stats struct {
 	Invalidations  int64
 	OwnerYields    int64
 	Failovers      int64
+
+	// Pipelined data path (ReadAt/WriteAt, read-ahead, group commit).
+	RangeReads     int64 // read-range token calls (one per ReadAt batch)
+	RangeWrites    int64 // write-range token calls (one per WriteAt batch)
+	BatchedTokens  int64 // tokens granted through range calls
+	BatchedEvicts  int64 // evict/sync notes carried in batch messages
+	GroupCommits   int64 // write-behind Sync flushes
+	PrefetchIssued int64 // blocks fetched ahead of the reader
+	PrefetchHits   int64 // prefetched blocks later read locally
+	PrefetchWasted int64 // prefetched blocks evicted unread
 }
 
 // New builds the system on e.
@@ -437,6 +473,15 @@ func (sys *System) registerManagerHandlers() {
 		ep.Register(hEvictNote, func(p *sim.Proc, msg am.Msg) (any, int) {
 			return sys.managerFor(msg).onEvictNote(p, msg)
 		})
+		ep.Register(hReadRangeTok, func(p *sim.Proc, msg am.Msg) (any, int) {
+			return sys.managerFor(msg).onReadRangeTok(p, msg)
+		})
+		ep.Register(hWriteRangeTok, func(p *sim.Proc, msg am.Msg) (any, int) {
+			return sys.managerFor(msg).onWriteRangeTok(p, msg)
+		})
+		ep.Register(hEvictBatch, func(p *sim.Proc, msg am.Msg) (any, int) {
+			return sys.managerFor(msg).onEvictBatch(p, msg)
+		})
 	}
 	for i := range sys.managers {
 		standby := sys.standbyNode(sys.managers[i])
@@ -459,6 +504,13 @@ func (sys *System) managerFor(msg am.Msg) *manager {
 		return sys.managerOf(a.key.File)
 	case evictArgs:
 		return sys.managerOf(a.key.File)
+	case rangeTokArgs:
+		return sys.managerOf(a.file)
+	case evictBatchArgs:
+		if len(a.notes) > 0 {
+			return sys.managerOf(a.notes[0].key.File)
+		}
+		return sys.managers[0]
 	default:
 		return sys.managers[0]
 	}

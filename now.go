@@ -31,13 +31,18 @@ package now
 
 import (
 	"github.com/nowproject/now/internal/coopcache"
+	"github.com/nowproject/now/internal/faults"
+	"github.com/nowproject/now/internal/gator"
 	"github.com/nowproject/now/internal/glunix"
 	"github.com/nowproject/now/internal/netram"
 	"github.com/nowproject/now/internal/netsim"
 	"github.com/nowproject/now/internal/node"
+	"github.com/nowproject/now/internal/obs"
 	"github.com/nowproject/now/internal/proto/am"
+	"github.com/nowproject/now/internal/proto/collective"
 	"github.com/nowproject/now/internal/sim"
 	"github.com/nowproject/now/internal/swraid"
+	"github.com/nowproject/now/internal/trace"
 	"github.com/nowproject/now/internal/xfs"
 )
 
@@ -67,6 +72,16 @@ const (
 
 // NewEngine creates a simulator seeded for reproducibility.
 func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
+
+// ErrStopped is the error Engine.Run returns after Engine.Stop — the
+// normal way a driven simulation ends.
+var ErrStopped = sim.ErrStopped
+
+// WaitGroup joins concurrently spawned simulated processes.
+type WaitGroup = sim.WaitGroup
+
+// NewWaitGroup creates a WaitGroup on e; name labels it in traces.
+func NewWaitGroup(e *Engine, name string) *WaitGroup { return sim.NewWaitGroup(e, name) }
 
 // ---- hardware ----
 
@@ -211,8 +226,157 @@ type (
 	FileID    = xfs.FileID
 )
 
-// xFS constructors.
+// xFS constructors. PipelinedXFSConfig turns on the batched data path
+// (range tokens, read-ahead, write-behind group commit — DESIGN.md §9).
 var (
-	DefaultXFSConfig = xfs.DefaultConfig
-	NewXFS           = xfs.New
+	DefaultXFSConfig   = xfs.DefaultConfig
+	PipelinedXFSConfig = xfs.PipelinedConfig
+	NewXFS             = xfs.New
+)
+
+// ---- collective operations ----
+
+// Comm is a collective communicator over a set of AM endpoints;
+// CollectiveConfig shapes its trees.
+type (
+	Comm             = collective.Comm
+	CollectiveConfig = collective.Config
+)
+
+// Collective constructors.
+var (
+	DefaultCollectiveConfig = collective.DefaultConfig
+	NewComm                 = collective.New
+)
+
+// Barrier blocks rank until every rank of c has arrived.
+func Barrier(p *Proc, c *Comm, rank int) error { return c.Barrier(p, rank) }
+
+// AllToAll performs a personalized all-to-all exchange of
+// blockBytes-sized blocks; every rank must call it.
+func AllToAll(p *Proc, c *Comm, rank, blockBytes int) error {
+	return c.AllToAll(p, rank, blockBytes)
+}
+
+// ---- fault injection ----
+
+// Fault aliases: a FaultPlan schedules Faults, a FaultInjector applies
+// them to a FaultTarget (adapters onto live subsystems).
+type (
+	Fault              = faults.Fault
+	FaultKind          = faults.Kind
+	FaultPlan          = faults.Plan
+	FaultInjector      = faults.Injector
+	FaultTarget        = faults.Target
+	BaseFaultTarget    = faults.BaseTarget
+	ClusterFaultTarget = faults.ClusterTarget
+	XFSFaultTarget     = faults.XFSTarget
+)
+
+// Fault kinds.
+const (
+	FaultCrash     = faults.Crash
+	FaultRecover   = faults.Recover
+	FaultPartition = faults.Partition
+	FaultHeal      = faults.Heal
+	FaultLink      = faults.Link
+	FaultLinkClear = faults.LinkClear
+	FaultDiskFail  = faults.DiskFail
+	FaultRebuild   = faults.Rebuild
+	FaultMgrKill   = faults.MgrKill
+)
+
+// Fault-injection constructors. ScriptedFaultPlan builds a plan in
+// code; ParseFaultPlan reads the plan syntax of docs/FAULTS.md from a
+// reader; ParseFaultSpec resolves a CLI spec ("seed:<n>[,k=v...]" or a
+// plan-file path).
+var (
+	NewInjector         = faults.NewInjector
+	ScriptedFaultPlan   = faults.Scripted
+	ParseFaultPlan      = faults.Parse
+	ParseFaultSpec      = faults.ParseSpec
+	GenerateFaultPlan   = faults.Generate
+	NewXFSFaultTarget   = faults.NewXFSTarget
+	CombineFaultTargets = faults.Combine
+)
+
+// ---- observability ----
+
+// MetricsRegistry collects counters, gauges, and spans from
+// instrumented subsystems; Metric is one exported sample.
+type (
+	MetricsRegistry = obs.Registry
+	Metric          = obs.Metric
+)
+
+// NewRegistry creates an empty metrics registry; attach it to an
+// engine with Engine.Observe and to subsystems with InstrumentAll.
+var NewRegistry = obs.NewRegistry
+
+// Instrumentable is anything that can mirror its internals into a
+// metrics registry. Every NOW subsystem satisfies it: the Engine,
+// Fabric, GLUnix, Coscheduler, NetRAMPager, CoopCache, RAIDArray, XFS,
+// and Comm all carry an Instrument method.
+type Instrumentable interface {
+	Instrument(r *MetricsRegistry)
+}
+
+// InstrumentAll attaches every subsystem to one registry — the
+// one-call way to wire a whole assembled system for metrics export.
+// Nil subsystems are skipped, so optional pieces compose freely.
+func InstrumentAll(r *MetricsRegistry, subsystems ...Instrumentable) {
+	for _, s := range subsystems {
+		if s != nil {
+			s.Instrument(r)
+		}
+	}
+}
+
+// ---- traces and mixed workloads ----
+
+// Trace aliases: recorded user activity and parallel-job logs drive
+// the mixed-workload studies.
+type (
+	ActivityTrace = trace.ActivityTrace
+	ParallelJob   = trace.ParallelJob
+)
+
+// GLUnixMixedResult reports a mixed interactive-plus-parallel run.
+type GLUnixMixedResult = glunix.MixedResult
+
+// RunGLUnixMixed overlays a parallel-job log on a cluster receiving an
+// interactive activity trace. The wire hook (when non-nil) runs on the
+// built cluster before the simulation starts — the place to attach a
+// fault injector or extra workloads.
+var RunGLUnixMixed = glunix.RunMixedWith
+
+// ---- network RAM multigrid workload ----
+
+// Multigrid aliases: the paper's out-of-core scientific workload
+// paging to remote memory.
+type (
+	MultigridConfig = netram.MultigridConfig
+	MultigridResult = netram.MultigridResult
+)
+
+// Multigrid constructors.
+var (
+	DefaultMultigridConfig = netram.DefaultMultigridConfig
+	RunMultigrid           = netram.RunMultigrid
+)
+
+// ---- GATOR (global-atmosphere model) ----
+
+// GATOR aliases: the paper's end-to-end application study.
+type (
+	GatorMiniConfig = gator.MiniConfig
+	GatorMiniResult = gator.MiniResult
+	GatorPhaseTimes = gator.PhaseTimes
+)
+
+// GATOR constructors and the paper's Table 4 reference times.
+var (
+	DefaultGatorMiniConfig = gator.DefaultMiniConfig
+	RunGatorMini           = gator.RunMini
+	GatorTable4            = gator.Table4
 )

@@ -2,6 +2,7 @@ package now_test
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	now "github.com/nowproject/now"
@@ -92,4 +93,119 @@ func TestFacadeConstantsWired(t *testing.T) {
 	if now.NChance.String() != "n-chance" {
 		t.Fatal("cache policy alias broken")
 	}
+}
+
+// TestFacadeInstrumentable pins the Instrumentable contract: every
+// subsystem the front door exports must satisfy it, and InstrumentAll
+// must wire them into one registry (nils skipped).
+func TestFacadeInstrumentable(t *testing.T) {
+	e := now.NewEngine(1)
+	defer e.Close()
+	fab, err := now.NewFabric(e, now.Myrinet(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]*now.AMEndpoint, 4)
+	for i := range eps {
+		eps[i] = now.NewAMEndpoint(e, now.NewNode(e, now.DefaultNodeConfig(now.NodeID(i))), fab, now.DefaultAMConfig())
+	}
+	comm, err := now.NewComm(e, eps, now.CollectiveConfig{Arity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := now.NewEngine(1)
+	defer e2.Close()
+	fsys, err := now.NewXFS(e2, now.DefaultXFSConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := now.NewGLUnix(now.NewEngine(1), now.DefaultGLUnixConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The compile-time contract: each subsystem IS an Instrumentable.
+	subs := []now.Instrumentable{e, fab, comm, fsys, g, nil}
+	reg := now.NewRegistry()
+	now.InstrumentAll(reg, subs...)
+	reg.Snapshot()
+	for _, name := range []string{"sim.events.scheduled", "net.offered", "collective.barriers", "xfs.reads"} {
+		_, cok := reg.CounterValue(name)
+		_, gok := reg.GaugeValue(name)
+		if !cok && !gok {
+			t.Fatalf("InstrumentAll did not register %s", name)
+		}
+	}
+}
+
+// TestFacadeFaultsAndCollectives drives the fault-injection and
+// collective surfaces end to end through the facade only.
+func TestFacadeFaultsAndCollectives(t *testing.T) {
+	e := now.NewEngine(1)
+	fsys, err := now.NewXFS(e, now.PipelinedXFSConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := now.ParseFaultPlan(strings.NewReader("100ms diskfail 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := now.NewInjector(e, now.NewXFSFaultTarget(fsys), plan, nil)
+	inj.Schedule()
+	e.Spawn("io", func(p *now.Proc) {
+		data := make([]byte, 4*8192)
+		if err := fsys.Client(0).WriteAt(p, now.FileID(1), 0, data); err != nil {
+			t.Error(err)
+		}
+		if err := fsys.Client(0).Sync(p); err != nil {
+			t.Error(err)
+		}
+		p.Sleep(200 * now.Millisecond)
+		if _, err := fsys.Client(3).ReadAt(p, now.FileID(1), 0, 4); err != nil {
+			t.Error(err)
+		}
+		e.Stop()
+	})
+	if err := e.Run(); !errors.Is(err, now.ErrStopped) {
+		t.Fatal(err)
+	}
+	e.Close()
+	if inj.Applied() != 1 {
+		t.Fatalf("fault not applied: %d", inj.Applied())
+	}
+
+	e2 := now.NewEngine(1)
+	fab, err := now.NewFabric(e2, now.ATM155(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]*now.AMEndpoint, 4)
+	for i := range eps {
+		eps[i] = now.NewAMEndpoint(e2, now.NewNode(e2, now.DefaultNodeConfig(now.NodeID(i))), fab, now.DefaultAMConfig())
+	}
+	comm, err := now.NewComm(e2, eps, now.DefaultCollectiveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := now.NewWaitGroup(e2, "ranks")
+	wg.Add(4)
+	for r := 0; r < 4; r++ {
+		r := r
+		e2.Spawn("rank", func(p *now.Proc) {
+			defer wg.Done()
+			if err := now.Barrier(p, comm, r); err != nil {
+				t.Error(err)
+			}
+			if err := now.AllToAll(p, comm, r, 256); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	e2.Spawn("monitor", func(p *now.Proc) {
+		wg.Wait(p)
+		e2.Stop()
+	})
+	if err := e2.Run(); !errors.Is(err, now.ErrStopped) {
+		t.Fatal(err)
+	}
+	e2.Close()
 }

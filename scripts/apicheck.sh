@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# scripts/apicheck.sh — the front-door gate. examples/ must compile
+# against the public now package alone: every example is a promise that
+# the facade is sufficient, so an internal import there means now.go is
+# missing an export. cmd/ may additionally reach the repo-internal
+# tooling packages that deliberately have no facade (experiment drivers,
+# trace generators, observability export, stats helpers) — but nothing
+# else: if a command needs a subsystem, the subsystem belongs in now.go.
+#
+# Matching includes the leading quote so that test data quoting go test
+# output (which names internal packages) does not trip the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern='"github.com/nowproject/now/internal/'
+allow='/internal/(experiments|trace|obs|stats)"'
+fail=0
+
+if bad=$(grep -rn --include='*.go' "$pattern" examples); then
+	echo "apicheck: examples/ must import only the public now API:" >&2
+	echo "$bad" >&2
+	fail=1
+fi
+
+if bad=$(grep -rn --include='*.go' "$pattern" cmd | grep -Ev "$allow"); then
+	echo "apicheck: cmd/ may import internal/{experiments,trace,obs,stats} only:" >&2
+	echo "$bad" >&2
+	fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "apicheck: examples/ and cmd/ respect the public API surface"

@@ -21,8 +21,10 @@ go test -run '^$' -bench "$sim_benches" -benchmem -benchtime "$benchtime" \
     ./internal/sim/ | tee "$raw"
 
 # Degraded-mode file-system bandwidth (virtual-time MB/s, healthy vs
-# post-crash reconstruct reads) — the fault studies' headline figure.
-go test -run '^$' -bench 'BenchmarkXFSReadDegraded$' -benchtime "$benchtime" \
+# post-crash reconstruct reads) — the fault studies' headline figure —
+# and the pipelined-vs-serial sequential scan (serial/pipelined MB/s
+# plus the speedup the batched data path buys).
+go test -run '^$' -bench 'BenchmarkXFSReadDegraded$|BenchmarkXFSSeqScan$' -benchtime "$benchtime" \
     ./internal/xfs/ | tee -a "$raw"
 
 # Fabric hot path (must stay at 0 allocs/op) and the collective scale

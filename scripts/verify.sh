@@ -6,6 +6,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== public API surface (examples/ and cmd/ import rules)"
+scripts/apicheck.sh
 echo "== go build ./..."
 go build ./...
 echo "== go vet ./..."
@@ -29,4 +31,6 @@ go test -count=1 -run 'TestInjectorDeterministicExport' ./internal/faults/ >/dev
 echo "== collective golden determinism (32/128-rank runs + SC1 CLI export)"
 go test -count=1 -run 'TestDeterminismGolden32|TestDeterminismGolden128' ./internal/proto/collective/ >/dev/null
 go test -count=1 -run 'TestScaleStudyGoldenDeterminism' ./cmd/nowbench/ >/dev/null
+echo "== xFS pipelined data path golden determinism (ST2 byte-identical)"
+go test -count=1 -run 'TestSeqScanGoldenDeterminism' ./cmd/nowbench/ >/dev/null
 echo "verify: all checks passed"
