@@ -52,6 +52,11 @@ const description = "Performance trajectory of the internal/sim scheduler hot pa
 // names, so trajectories compare across machines.
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
+// shardsSub matches the /shards=N sub-benchmark convention used by the
+// sharded-engine benchmarks; the worker count is surfaced as a metric
+// so trend tooling can plot throughput against it.
+var shardsSub = regexp.MustCompile(`/shards=(\d+)`)
+
 func main() {
 	if err := run(os.Stdin, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -113,6 +118,10 @@ func parse(in io.Reader) ([]Result, error) {
 			Name:    cpuSuffix.ReplaceAllString(strings.TrimPrefix(f[0], "Benchmark"), ""),
 			Iters:   iters,
 			Metrics: map[string]float64{},
+		}
+		if m := shardsSub.FindStringSubmatch(r.Name); m != nil {
+			n, _ := strconv.ParseFloat(m[1], 64)
+			r.Metrics["shards"] = n
 		}
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i], 64)

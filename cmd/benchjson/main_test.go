@@ -48,6 +48,35 @@ func TestParseAndAppend(t *testing.T) {
 	}
 }
 
+func TestParseShardsSubBench(t *testing.T) {
+	const shardSample = `BenchmarkShardedThroughput/shards=1-8   	     100	    350000 ns/op
+BenchmarkShardedThroughput/shards=8-8   	     100	    120000 ns/op	  2850000 events/s
+`
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run(strings.NewReader(shardSample), []string{"-out", out, "-date", "2026-08-07"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc File
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	rs := doc.Runs[0].Results
+	if len(rs) != 2 {
+		t.Fatalf("results = %+v", rs)
+	}
+	if rs[0].Name != "ShardedThroughput/shards=1" || rs[0].Metrics["shards"] != 1 {
+		t.Fatalf("first result = %+v", rs[0])
+	}
+	if rs[1].Name != "ShardedThroughput/shards=8" || rs[1].Metrics["shards"] != 8 ||
+		rs[1].Metrics["events/s"] != 2850000 {
+		t.Fatalf("second result = %+v", rs[1])
+	}
+}
+
 func TestEmptyInputErrors(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH.json")
 	if err := run(strings.NewReader("no benches here\n"), []string{"-out", out}); err == nil {

@@ -11,8 +11,9 @@
 //
 // Experiment ids follow DESIGN.md §3: T1 T2 T3 T4 F1 F2 F3 F4, the
 // prose claims E5 E6 E7 E8 E9 E10, the fault-injection availability
-// study AV1 (docs/FAULTS.md), the collective scale study SC1, and the
-// xFS sequential-scan pipelining study ST2.
+// study AV1 (docs/FAULTS.md), the collective scale study SC1, the
+// sharded-engine throughput study SC2 (DESIGN.md §10; -shards pins its
+// worker count), and the xFS sequential-scan pipelining study ST2.
 package main
 
 import (
@@ -36,6 +37,9 @@ type jsonReport struct {
 	Headers []string   `json:"headers"`
 	Rows    [][]string `json:"rows"`
 	Notes   string     `json:"notes,omitempty"`
+	// Shards is the largest worker count a sharded experiment (SC2) ran
+	// with; omitted for single-threaded experiments.
+	Shards int `json:"shards,omitempty"`
 }
 
 func main() {
@@ -52,6 +56,7 @@ func run(args []string) error {
 	ablations := fs.Bool("ablations", false, "also run the design-choice ablations (A1-A4)")
 	asJSON := fs.Bool("json", false, "emit reports as a JSON array instead of text tables")
 	metricsPath := fs.String("metrics", "", "write the instrumented experiments' metrics registries to this JSON file")
+	shards := fs.Int("shards", 0, "pin the SC2 worker sweep to this single worker count (0 = full 1/2/4/8 sweep)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,6 +142,17 @@ func run(args []string) error {
 			r, _, err := experiments.ScaleCollectives(cfg)
 			return r, err
 		}},
+		{"SC2", func() (experiments.Report, error) {
+			cfg := experiments.DefaultShardScaleConfig()
+			if *quick {
+				cfg = experiments.QuickShardScaleConfig()
+			}
+			if *shards > 0 {
+				cfg.Workers = []int{*shards}
+			}
+			r, _, err := experiments.ShardScale(cfg)
+			return r, err
+		}},
 		{"ST2", func() (experiments.Report, error) {
 			cfg := experiments.DefaultSeqScanConfig()
 			if *quick {
@@ -220,6 +236,7 @@ func run(args []string) error {
 				Headers: rep.Table.Headers(),
 				Rows:    rep.Table.Rows(),
 				Notes:   rep.Notes,
+				Shards:  rep.Shards,
 			})
 		}
 		if err := writeMetrics(); err != nil {

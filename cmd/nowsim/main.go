@@ -23,6 +23,16 @@
 // docs/FAULTS.md for the grammar) or "seed:<n>[,key=val...]" for a
 // generated plan; either way the plan is deterministic, so faulted
 // runs replay exactly.
+//
+// The -shards flag switches to the sharded multicore engine (DESIGN.md
+// §10) and runs the partitioned cluster workload with that many worker
+// goroutines:
+//
+//	nowsim -ws 256 -shards 4 -seed 1 -metrics sharded.json
+//
+// The worker count bounds parallelism only — every output except the
+// final wall-clock line (prefixed "workers:") is byte-identical for any
+// -shards value at a given -ws and -seed.
 package main
 
 import (
@@ -31,8 +41,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	now "github.com/nowproject/now"
+	"github.com/nowproject/now/internal/experiments"
 	"github.com/nowproject/now/internal/obs"
 	"github.com/nowproject/now/internal/trace"
 )
@@ -55,8 +67,12 @@ func run(args []string) error {
 	metricsCSV := fs.String("metrics-csv", "", "write metrics CSV to this file")
 	tracePath := fs.String("trace", "", "write span trace JSON to this file")
 	faultSpec := fs.String("faults", "", "fault plan: a plan file path, or seed:<n>[,key=val...] (docs/FAULTS.md)")
+	shards := fs.Int("shards", 0, "run the sharded-engine cluster workload with this many workers (0 = classic mixed-workload run)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards > 0 {
+		return runSharded(*ws, *shards, *seed, *metricsPath, *metricsCSV, *tracePath)
 	}
 	var policy now.RecruitPolicy
 	switch *policyName {
@@ -163,6 +179,27 @@ func run(args []string) error {
 		fmt.Printf("  job %-4d %v\n", id, res.Responses[id])
 	}
 	return nil
+}
+
+// runSharded executes the partitioned cluster workload on the sharded
+// multicore engine. Everything printed before the "workers:" line — and
+// every exported metrics/trace file — is deterministic in (ws, seed)
+// alone; the worker count only bounds parallelism.
+func runSharded(ws, workers int, seed int64, metricsPath, csvPath, tracePath string) error {
+	cfg := experiments.DefaultShardedTrafficConfig(ws, workers, seed)
+	res, reg, err := experiments.ShardedTraffic(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("NOW sharded: %d workstations in %d partitions, seed %d\n",
+		res.Nodes, res.Parts, seed)
+	fmt.Printf("barrier mean: %.1f µs   makespan: %.1f µs\n", res.BarrierUs, res.MakespanUs)
+	fmt.Printf("events: %d   cross-partition pkts: %d   overflows: %d   drops: %d\n",
+		res.Events, res.CrossSent, res.Overflows, res.Drops)
+	// The one machine-dependent line; determinism gates strip it.
+	fmt.Printf("workers: %d   events/sec: %.0f   wall: %v\n",
+		res.Workers, res.EventsPerSec, res.Wall.Round(time.Millisecond))
+	return exportObs(reg, metricsPath, csvPath, tracePath)
 }
 
 // exportObs writes the requested observability files. A nil registry

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -93,6 +96,71 @@ func TestFaultedRunGoldenDeterminism(t *testing.T) {
 	}
 	if !bytes.Contains(m1, []byte(`"faults.injected"`)) {
 		t.Fatalf("faulted run exported no faults.injected counter:\n%.300s", m1)
+	}
+}
+
+// TestShardedRunGoldenDeterminism is the cross-shard determinism gate
+// at the CLI boundary: the same -ws and -seed must export byte-identical
+// metrics and trace files — and identical stdout once the single
+// machine-dependent "workers:" line is stripped — at 1, 2, 4 and 8
+// workers. This is the golden scripts/verify.sh replays.
+func TestShardedRunGoldenDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(shards int) (metrics, trace []byte, stdout string) {
+		m := filepath.Join(dir, fmt.Sprintf("sm%d.json", shards))
+		tr := filepath.Join(dir, fmt.Sprintf("st%d.json", shards))
+		old := os.Stdout
+		rp, wp, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = wp
+		runErr := run([]string{"-ws", "32", "-seed", "9",
+			"-shards", fmt.Sprint(shards), "-metrics", m, "-trace", tr})
+		wp.Close()
+		os.Stdout = old
+		out, readErr := io.ReadAll(rp)
+		if runErr != nil {
+			t.Fatalf("shards=%d: %v", shards, runErr)
+		}
+		if readErr != nil {
+			t.Fatal(readErr)
+		}
+		var kept []string
+		for _, line := range strings.Split(string(out), "\n") {
+			if strings.HasPrefix(line, "workers:") {
+				continue // the one wall-clock line
+			}
+			kept = append(kept, line)
+		}
+		mb, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := os.ReadFile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mb, tb, strings.Join(kept, "\n")
+	}
+	m1, t1, out1 := runOnce(1)
+	if !bytes.Contains(m1, []byte(`"sim.shard.events{p0}"`)) {
+		t.Fatalf("sharded metrics missing shard counters:\n%.300s", m1)
+	}
+	if !bytes.Contains(m1, []byte(`"net.cross.sent"`)) {
+		t.Fatalf("sharded metrics missing cross-partition counters:\n%.300s", m1)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		m, tr, out := runOnce(shards)
+		if !bytes.Equal(m, m1) {
+			t.Errorf("-shards %d metrics differ from -shards 1", shards)
+		}
+		if !bytes.Equal(tr, t1) {
+			t.Errorf("-shards %d trace differs from -shards 1", shards)
+		}
+		if out != out1 {
+			t.Errorf("-shards %d stdout differs from -shards 1:\n%s\n----\n%s", shards, out, out1)
+		}
 	}
 }
 

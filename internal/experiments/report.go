@@ -30,6 +30,10 @@ type Report struct {
 	// table's measured values from these registries; cmd/nowbench
 	// -metrics exports them. Nil for uninstrumented experiments.
 	Obs map[string]*obs.Registry
+	// Shards is the largest worker count a sharded experiment ran with
+	// (0 for single-threaded experiments); nowbench -json emits it
+	// alongside the rows.
+	Shards int
 }
 
 // String renders the report.

@@ -111,6 +111,12 @@ type Stats struct {
 	// (partitions and per-link loss windows) rather than the fabric's
 	// configured background LossProb.
 	InjectedDrops int64
+	// CrossSent / CrossRecv count packets handed across partition
+	// boundaries on a sharded fabric (see shard.go); both zero on an
+	// unsharded fabric. Cross packets are also counted in Offered and,
+	// if they survive the accept decision, Delivered — at the source.
+	CrossSent int64
+	CrossRecv int64
 }
 
 // Fabric is a simulated LAN. Create one with New, register per-node
@@ -137,6 +143,11 @@ type Fabric struct {
 	// deliverFn is the bound deliverPacket method, created once so the
 	// per-delivery AtArg schedule allocates no closure.
 	deliverFn func(any)
+
+	// cross is non-nil when this Fabric is one partition of a
+	// ShardedFabric: sends to nodes owned by other partitions detour
+	// through sendCross (shard.go) after the source-side costs are paid.
+	cross *crossLink
 }
 
 // New builds a fabric on e. Nodes must be positive; bandwidth must be
@@ -255,6 +266,10 @@ func (f *Fabric) Send(p *sim.Proc, pkt *Packet) {
 		f.deliverAt(f.eng.Now()+f.cfg.Latency+f.injectedDelay(pkt), pkt)
 		return
 	}
+	if f.cross != nil && f.txLinks[pkt.Src] == nil {
+		panic(fmt.Sprintf("netsim: send from node %d on partition %d's fabric, which does not own it",
+			pkt.Src, f.cross.part))
+	}
 	f.txLinks[pkt.Src].Use(p, 1, ser)
 	// The drop decision comes BEFORE the destination-link reservation: a
 	// packet swallowed by a partition, a lossy link, or background loss
@@ -263,6 +278,10 @@ func (f *Fabric) Send(p *sim.Proc, pkt *Packet) {
 	// happen at the same point in the event schedule as before (after
 	// the source-link park, synchronously), so seeded runs replay.
 	if !f.accept(pkt) {
+		return
+	}
+	if c := f.cross; c != nil && !c.pm.Local(pkt.Dst, c.part) {
+		f.sendCross(pkt, ser)
 		return
 	}
 	// Cut-through: the head of the packet reached the destination link
@@ -469,7 +488,7 @@ func (f *Fabric) MediumUtilization() float64 {
 // transmit link on a switched fabric (0 in shared mode), the per-link
 // figure the scale studies record.
 func (f *Fabric) TxLinkUtilization(node NodeID) float64 {
-	if f.txLinks == nil || node < 0 || int(node) >= len(f.txLinks) {
+	if f.txLinks == nil || node < 0 || int(node) >= len(f.txLinks) || f.txLinks[node] == nil {
 		return 0
 	}
 	return f.txLinks[node].Utilization()

@@ -12,6 +12,8 @@ type fabricMetrics struct {
 	drops          *obs.Counter   // net.drops
 	injDrops       *obs.Counter   // net.drops.injected
 	selfSends      *obs.Counter   // net.sends.self
+	crossSent      *obs.Counter   // net.cross.sent
+	crossRecv      *obs.Counter   // net.cross.recv
 	latency        *obs.Histogram // net.am.latency.ns
 }
 
@@ -31,9 +33,14 @@ type fabricMetrics struct {
 //	                         partitions and link faults (internal/faults)
 //	net.sends.self           sends where src == dst (wire bypassed; counted
 //	                         in neither offered nor delivered)
+//	net.cross.sent           packets handed to another partition (registered
+//	                         on sharded fabrics only; counted at the source)
+//	net.cross.recv           packets injected from another partition
+//	                         (sharded fabrics only)
 //	net.am.latency.ns        send-to-delivery latency histogram
 //	net.medium.util.ppm      shared-medium utilization, ppm (sampled)
-//	net.links.tx.util.ppm.mean  mean tx-link utilization, ppm (sampled)
+//	net.links.tx.util.ppm.mean  mean tx-link utilization, ppm (sampled;
+//	                         over locally owned links on a sharded fabric)
 //	net.links.tx.util.ppm.max   max tx-link utilization, ppm (sampled)
 func (f *Fabric) Instrument(r *obs.Registry) {
 	if r == nil {
@@ -49,6 +56,12 @@ func (f *Fabric) Instrument(r *obs.Registry) {
 		selfSends:      r.Counter("net.sends.self"),
 		latency:        r.Histogram("net.am.latency.ns", obs.DurationBuckets),
 	}
+	if f.cross != nil {
+		// Partition fabrics only: a plain fabric's export must not grow
+		// rows it can never increment (classic-run goldens stay stable).
+		f.m.crossSent = r.Counter("net.cross.sent")
+		f.m.crossRecv = r.Counter("net.cross.recv")
+	}
 	if f.medium != nil {
 		util := r.Gauge("net.medium.util.ppm")
 		r.OnSample(func() { util.Set(obs.Ratio(f.medium.Utilization())) })
@@ -57,15 +70,22 @@ func (f *Fabric) Instrument(r *obs.Registry) {
 		mean := r.Gauge("net.links.tx.util.ppm.mean")
 		max := r.Gauge("net.links.tx.util.ppm.max")
 		r.OnSample(func() {
-			var sum, top int64
+			var sum, top, n int64
 			for _, l := range f.txLinks {
+				if l == nil {
+					// Sharded fabric: this partition does not own the node.
+					continue
+				}
 				u := obs.Ratio(l.Utilization())
 				sum += u
 				if u > top {
 					top = u
 				}
+				n++
 			}
-			mean.Set(sum / int64(len(f.txLinks)))
+			if n > 0 {
+				mean.Set(sum / n)
+			}
 			max.Set(top)
 		})
 	}

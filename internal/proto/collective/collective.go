@@ -108,19 +108,51 @@ type rankState struct {
 
 // Comm is a communicator binding one AM endpoint per rank. Rank i is
 // eps[i]; rank 0 is the root of every tree-shaped operation.
+//
+// A Comm may be one partition's fragment of a cluster-wide communicator
+// (NewPart): it knows every rank's fabric address, but holds endpoints
+// and rank state only for the ranks its partition owns. The tree
+// arithmetic is identical in every fragment — it depends only on the
+// total rank count — and the AM layer routes parent/child messages
+// across partitions transparently, so the collective algorithms are
+// unchanged.
 type Comm struct {
-	cfg Config
-	eng *sim.Engine
-	eps []*am.Endpoint
-	st  []*rankState
-	m   *metrics // nil unless Instrument attached a registry
+	cfg    Config
+	eng    *sim.Engine
+	n      int             // total ranks, across all partitions
+	nodeOf []netsim.NodeID // rank → fabric address, for all ranks
+	eps    []*am.Endpoint  // nil for ranks owned by other partitions
+	st     []*rankState    // nil for ranks owned by other partitions
+	m      *metrics        // nil unless Instrument attached a registry
 }
 
 // New builds a communicator over eps (rank i = eps[i]) and registers
 // its handlers on every endpoint. At least two ranks are required.
 func New(e *sim.Engine, eps []*am.Endpoint, cfg Config) (*Comm, error) {
-	if len(eps) < 2 {
-		return nil, fmt.Errorf("collective: %d ranks", len(eps))
+	nodeOf := make([]netsim.NodeID, len(eps))
+	for i, ep := range eps {
+		if ep == nil {
+			return nil, fmt.Errorf("collective: rank %d has no endpoint", i)
+		}
+		nodeOf[i] = ep.ID()
+	}
+	return NewPart(e, eps, nodeOf, cfg)
+}
+
+// NewPart builds one partition's fragment of a cluster-wide
+// communicator. nodeOf maps every rank (0..n-1, across all partitions)
+// to its fabric address; eps holds the same ranks, with nil for every
+// rank another partition owns. Handlers and rank state are created only
+// for local ranks, on this partition's engine, and operations
+// (Barrier, Broadcast, ...) may only be invoked for local ranks — the
+// processes of remote ranks live on other engines and call into their
+// own fragments.
+func NewPart(e *sim.Engine, eps []*am.Endpoint, nodeOf []netsim.NodeID, cfg Config) (*Comm, error) {
+	if len(eps) != len(nodeOf) {
+		return nil, fmt.Errorf("collective: %d endpoints for %d ranks", len(eps), len(nodeOf))
+	}
+	if len(nodeOf) < 2 {
+		return nil, fmt.Errorf("collective: %d ranks", len(nodeOf))
 	}
 	if cfg.Arity <= 0 {
 		cfg.Arity = 4
@@ -131,8 +163,11 @@ func New(e *sim.Engine, eps []*am.Endpoint, cfg Config) (*Comm, error) {
 	if cfg.ElemBytes <= 0 {
 		cfg.ElemBytes = 8
 	}
-	c := &Comm{cfg: cfg, eng: e, eps: eps, st: make([]*rankState, len(eps))}
+	c := &Comm{cfg: cfg, eng: e, n: len(nodeOf), nodeOf: nodeOf, eps: eps, st: make([]*rankState, len(eps))}
 	for i := range c.st {
+		if eps[i] == nil {
+			continue
+		}
 		c.st[i] = &rankState{
 			barSig:   sim.NewSignal(e, fmt.Sprintf("coll%d/bar", i)),
 			bcast:    make(map[uint64]bcastMsg),
@@ -144,6 +179,9 @@ func New(e *sim.Engine, eps []*am.Endpoint, cfg Config) (*Comm, error) {
 		}
 	}
 	for i, ep := range eps {
+		if ep == nil {
+			continue
+		}
 		st := c.st[i]
 		ep.Register(cfg.Base+hArrive, func(p *sim.Proc, m am.Msg) (any, int) {
 			st.arrived++
@@ -182,8 +220,8 @@ func New(e *sim.Engine, eps []*am.Endpoint, cfg Config) (*Comm, error) {
 	return c, nil
 }
 
-// Size returns the number of ranks.
-func (c *Comm) Size() int { return len(c.eps) }
+// Size returns the number of ranks (across all partitions).
+func (c *Comm) Size() int { return c.n }
 
 // parent returns rank r's tree parent (heap layout).
 func (c *Comm) parent(r int) int { return (r - 1) / c.cfg.Arity }
@@ -191,7 +229,7 @@ func (c *Comm) parent(r int) int { return (r - 1) / c.cfg.Arity }
 // children appends rank r's tree children to dst.
 func (c *Comm) children(r int, dst []int) []int {
 	first := c.cfg.Arity*r + 1
-	for ch := first; ch < first+c.cfg.Arity && ch < len(c.eps); ch++ {
+	for ch := first; ch < first+c.cfg.Arity && ch < c.n; ch++ {
 		dst = append(dst, ch)
 	}
 	return dst
@@ -200,24 +238,25 @@ func (c *Comm) children(r int, dst []int) []int {
 // childCount returns the number of tree children of rank r.
 func (c *Comm) childCount(r int) int {
 	first := c.cfg.Arity*r + 1
-	if first >= len(c.eps) {
+	if first >= c.n {
 		return 0
 	}
-	n := len(c.eps) - first
+	n := c.n - first
 	if n > c.cfg.Arity {
 		n = c.cfg.Arity
 	}
 	return n
 }
 
-// node maps a rank to its fabric address.
-func (c *Comm) node(r int) netsim.NodeID { return c.eps[r].ID() }
+// node maps a rank to its fabric address (works for remote ranks too —
+// this is how fragments send to parents and children they do not own).
+func (c *Comm) node(r int) netsim.NodeID { return c.nodeOf[r] }
 
 // Depth returns the tree depth (edges from the deepest rank to the
 // root) — the d in the LogP-style latency predictions.
 func (c *Comm) Depth() int {
 	d := 0
-	for r := len(c.eps) - 1; r != 0; r = c.parent(r) {
+	for r := c.n - 1; r != 0; r = c.parent(r) {
 		d++
 	}
 	return d
@@ -356,7 +395,7 @@ func (c *Comm) AllToAll(p *sim.Proc, rank int, blockBytes int) error {
 	start := c.eng.Now()
 	st := c.st[rank]
 	ep := c.eps[rank]
-	n := len(c.eps)
+	n := c.n
 	epoch := st.a2aEpoch
 	st.a2aEpoch++
 	msg := a2aMsg{epoch: epoch}

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // BenchmarkEventThroughput measures raw engine event dispatch — the
 // floor under every experiment's wall-clock cost.
@@ -17,6 +20,58 @@ func BenchmarkEventThroughput(b *testing.B) {
 	}
 	if err := e.RunUntil(MaxTime); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkShardedThroughput measures the sharded engine end to end on
+// a pure-sim workload: 8 fixed partitions (part of the workload's
+// identity, so results stay comparable) run by 1, 4 or 8 workers. Each
+// partition forwards a message chain to its neighbour once per
+// lookahead window, dispatching a burst of local events per hop. The
+// /shards=N sub-benchmark names carry the worker count; benchjson
+// parses them into a "shards" metric for BENCH_sim.json.
+func BenchmarkShardedThroughput(b *testing.B) {
+	const (
+		parts = 8
+		local = 16 // local events dispatched per cross-partition hop
+	)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", workers), func(b *testing.B) {
+			se := NewShardedEngine(ShardedConfig{
+				Parts: parts, Workers: workers, Seed: 1, Window: Microsecond,
+			})
+			defer se.Close()
+			hops := b.N / (parts * (local + 2))
+			if hops < 1 {
+				hops = 1
+			}
+			for p := 0; p < parts; p++ {
+				p := p
+				eng := se.Engine(p)
+				hop := func(rem int) {
+					for i := 0; i < local; i++ {
+						eng.After(Duration(i)*100*Nanosecond, func() {})
+					}
+					if rem > 0 {
+						se.Send(p, (p+1)%parts, eng.Now()+se.Window(), rem-1)
+					}
+				}
+				se.OnDeliver(p, func(m ShardMsg) {
+					rem := m.Data.(int)
+					eng.At(m.At, func() { hop(rem) })
+				})
+				eng.At(Time(Microsecond), func() { hop(hops) })
+			}
+			b.ResetTimer()
+			if err := se.Run(MaxTime); err != nil {
+				b.Fatal(err)
+			}
+			var events int64
+			for _, pp := range se.Stats().PerPart {
+				events += int64(pp.Events)
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
 	}
 }
 

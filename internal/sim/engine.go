@@ -341,6 +341,34 @@ func (e *Engine) Close() {
 // ones not yet popped. Intended for tests and diagnostics.
 func (e *Engine) Pending() int { return e.heap.len() + e.runq.len() }
 
+// NextLive reports the time of the earliest non-cancelled event still
+// queued, or MaxTime when only cancelled events (or nothing) remain.
+// Cancelled events found at the queue heads are reaped eagerly — exactly
+// the bookkeeping the dispatch loop would do on pop — so a caller polling
+// NextLive between RunUntil horizons does not scan them again. The
+// sharded driver uses this for idle detection: cancelled protocol timers
+// (AM retransmit/completion guards) otherwise keep Pending non-zero long
+// after the last real event, which would force a windowed run to crawl
+// through millions of empty lookahead windows.
+func (e *Engine) NextLive() Time {
+	for e.runq.n > 0 && e.runq.peek().cancelled {
+		e.stat.cancelled++
+		e.recycle(e.runq.pop())
+	}
+	for len(e.heap.items) > 0 && e.heap.items[0].cancelled {
+		e.stat.cancelled++
+		e.recycle(e.heap.pop())
+	}
+	if e.runq.n > 0 {
+		// Same-time FIFO work is due at the current instant.
+		return e.now
+	}
+	if len(e.heap.items) > 0 {
+		return e.heap.items[0].at
+	}
+	return MaxTime
+}
+
 // invariant records a failure when cond is false; used by primitives to
 // catch API misuse (double release, negative acquire) loudly.
 func (e *Engine) invariant(cond bool, format string, args ...any) {

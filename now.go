@@ -83,6 +83,49 @@ type WaitGroup = sim.WaitGroup
 // NewWaitGroup creates a WaitGroup on e; name labels it in traces.
 func NewWaitGroup(e *Engine, name string) *WaitGroup { return sim.NewWaitGroup(e, name) }
 
+// ---- sharded (multicore) execution ----
+
+// ShardedConfig shapes a sharded engine: Parts logical partitions
+// (workload identity — part of what a seed means), Workers goroutines
+// executing them (never observable in results), the master Seed, and
+// the conservative-lookahead Window (at least the minimum cross-
+// partition link latency).
+type (
+	ShardedConfig = sim.ShardedConfig
+	ShardedEngine = sim.ShardedEngine
+	ShardMsg      = sim.ShardMsg
+)
+
+// NewShardedEngine builds Parts deterministic engines coordinated under
+// the windowed conservative protocol of DESIGN.md §10.
+func NewShardedEngine(cfg ShardedConfig) *ShardedEngine { return sim.NewShardedEngine(cfg) }
+
+// Partitioned-fabric aliases: a PartitionMap assigns nodes to
+// partitions; a ShardedFabric is one fabric split into per-partition
+// instances with deterministic cross-partition packet handoff.
+type (
+	PartitionMap  = netsim.PartitionMap
+	ShardedFabric = netsim.ShardedFabric
+)
+
+// SplitEven maps nodes onto parts partitions in contiguous equal runs.
+var SplitEven = netsim.SplitEven
+
+// NewShardedFabric splits cfg across the partitions of pm on se.
+func NewShardedFabric(se *ShardedEngine, cfg FabricConfig, pm PartitionMap) (*ShardedFabric, error) {
+	return netsim.NewSharded(se, cfg, pm)
+}
+
+// NewCommPart builds one partition's fragment of a cluster-wide
+// collective communicator: eps holds endpoints only at locally-owned
+// ranks (nil elsewhere), nodeOf maps every rank to its node.
+var NewCommPart = collective.NewPart
+
+// MergeRegistries combines per-partition metrics registries into one
+// stable-ordered registry (counters sum, ".max" gauges and the clock
+// take maxima, spans interleave by start time).
+var MergeRegistries = obs.Merged
+
 // ---- hardware ----
 
 // FabricConfig describes a network; NodeConfig a workstation.

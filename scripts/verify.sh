@@ -14,12 +14,14 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test ./..."
 go test ./...
-echo "== go test -race ./internal/sim/..."
+echo "== go test -race ./internal/sim/... (incl. sharded engine paths)"
 go test -race -count=1 ./internal/sim/...
 echo "== go test -race ./internal/faults/..."
 go test -race -count=1 ./internal/faults/...
-echo "== go test -race ./internal/netsim/... ./internal/proto/..."
+echo "== go test -race ./internal/netsim/... ./internal/proto/... (incl. cross-shard handoff)"
 go test -race -count=1 ./internal/netsim/... ./internal/proto/...
+echo "== go test -race sharded experiments stack (engine+fabric+collectives end to end)"
+go test -race -count=1 -run 'TestSharded' ./internal/experiments/ >/dev/null
 echo "== netsim fabric accounting regressions (drop-before-reserve, FIFO under fault churn)"
 go test -count=1 -run 'TestPartitionFloodDoesNotDelayHealthyTraffic|TestLinkFaultFIFOUnderChurn|TestPartitionDropsAndAccounts' ./internal/netsim/ >/dev/null
 echo "== observability golden determinism (byte-identical metrics across runs)"
@@ -33,4 +35,8 @@ go test -count=1 -run 'TestDeterminismGolden32|TestDeterminismGolden128' ./inter
 go test -count=1 -run 'TestScaleStudyGoldenDeterminism' ./cmd/nowbench/ >/dev/null
 echo "== xFS pipelined data path golden determinism (ST2 byte-identical)"
 go test -count=1 -run 'TestSeqScanGoldenDeterminism' ./cmd/nowbench/ >/dev/null
+echo "== cross-shard golden determinism (nowsim -shards 1/2/4/8 byte-identical)"
+go test -count=1 -run 'TestShardedRunGoldenDeterminism' ./cmd/nowsim/ >/dev/null
+go test -count=1 -run 'TestShardedTrafficDeterministicAcrossWorkers' ./internal/experiments/ >/dev/null
+go test -count=1 -run 'TestShardedDeterminismAcrossWorkers|TestShardedStopMidDrain' ./internal/sim/ >/dev/null
 echo "verify: all checks passed"
