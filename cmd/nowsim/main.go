@@ -33,6 +33,18 @@
 // The worker count bounds parallelism only — every output except the
 // final wall-clock line (prefixed "workers:") is byte-identical for any
 // -shards value at a given -ws and -seed.
+//
+// The run and check subcommands execute declarative scenario files
+// (docs/SCENARIOS.md) instead of flag-built workloads:
+//
+//	nowsim run examples/scenarios/nfs-opmix-day.scn
+//	nowsim run -metrics day.json story.scn
+//	nowsim run -shards 4 sharded.scn
+//	nowsim check examples/scenarios/*.scn
+//
+// run prints the scenario's deterministic report and exits 0 when every
+// assertion passed, 2 when any failed or could not be evaluated, 1 on
+// parse or run errors. check parses and validates without running.
 package main
 
 import (
@@ -49,14 +61,30 @@ import (
 	"github.com/nowproject/now/internal/trace"
 )
 
+// errAssertFailed marks a completed scenario whose assertions did not
+// all pass: exit 2, distinct from build/usage errors (exit 1), so CI
+// can tell "the story broke" from "the tool broke".
+var errAssertFailed = errors.New("scenario assertions failed")
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, errAssertFailed) {
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "nowsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			return runScenario(args[1:])
+		case "check":
+			return checkScenarios(args[1:])
+		}
+	}
 	fs := flag.NewFlagSet("nowsim", flag.ContinueOnError)
 	ws := fs.Int("ws", 64, "workstations in the NOW")
 	hours := fs.Int("hours", 12, "virtual hours to simulate")
@@ -200,6 +228,56 @@ func runSharded(ws, workers int, seed int64, metricsPath, csvPath, tracePath str
 	fmt.Printf("workers: %d   events/sec: %.0f   wall: %v\n",
 		res.Workers, res.EventsPerSec, res.Wall.Round(time.Millisecond))
 	return exportObs(reg, metricsPath, csvPath, tracePath)
+}
+
+// runScenario executes one scenario file: parse, run, print the
+// deterministic report, export metrics if asked. Assertion failures
+// come back as errAssertFailed after the report and exports are out.
+func runScenario(args []string) error {
+	fs := flag.NewFlagSet("nowsim run", flag.ContinueOnError)
+	shards := fs.Int("shards", 0, "sharded-fleet worker count (execution only, never observable; 0 = one per core)")
+	metricsPath := fs.String("metrics", "", "write metrics JSON (deterministic, byte-stable) to this file")
+	metricsCSV := fs.String("metrics-csv", "", "write metrics CSV to this file")
+	tracePath := fs.String("trace", "", "write span trace JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: nowsim run [flags] <file.scn>")
+	}
+	s, err := now.ParseScenarioFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := now.RunScenario(s, now.ScenarioOptions{Workers: *shards})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	if err := exportObs(res.Registry, *metricsPath, *metricsCSV, *tracePath); err != nil {
+		return err
+	}
+	if !res.Ok() {
+		return errAssertFailed
+	}
+	return nil
+}
+
+// checkScenarios parses and validates scenario files without running
+// them — the cheap CI gate over examples/scenarios/.
+func checkScenarios(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: nowsim check <file.scn...>")
+	}
+	for _, path := range paths {
+		s, err := now.ParseScenarioFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: ok (%s: %d events, %d expects)\n",
+			path, s.Name, len(s.Events), len(s.Expects))
+	}
+	return nil
 }
 
 // exportObs writes the requested observability files. A nil registry

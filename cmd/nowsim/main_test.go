@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -160,6 +161,164 @@ func TestShardedRunGoldenDeterminism(t *testing.T) {
 		}
 		if out != out1 {
 			t.Errorf("-shards %d stdout differs from -shards 1:\n%s\n----\n%s", shards, out, out1)
+		}
+	}
+}
+
+// captureRun runs the CLI with stdout captured, returning the output
+// and the run error.
+func captureRun(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	rp, wp, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wp
+	runErr := run(args)
+	wp.Close()
+	os.Stdout = old
+	out, readErr := io.ReadAll(rp)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(out), runErr
+}
+
+// TestScenarioRunGoldenDeterminism is the scenario engine's CLI
+// determinism gate: the same .scn file, run twice, must print a
+// byte-identical report and export byte-identical metrics JSON. This is
+// the golden scripts/verify.sh replays against the shipped examples.
+func TestScenarioRunGoldenDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	scn := filepath.Join(dir, "drill.scn")
+	script := `scenario cli-drill
+seed 7
+horizon 1200s
+fleet ws 8
+at 60s jobs 3 nodes=2 work=120s every=60s grain=10s
+at 300s crash 2 for 120s
+expect faults.injected == 1 at end
+expect glunix.rejoins >= 1 at end
+expect glunix.jobs.completed == 3 at end
+`
+	if err := os.WriteFile(scn, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func(n string) (string, []byte) {
+		m := filepath.Join(dir, "scn"+n+".json")
+		out, err := captureRun(t, []string{"run", "-metrics", m, scn})
+		if err != nil {
+			t.Fatalf("run %s: %v\n%s", n, err, out)
+		}
+		mb, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, mb
+	}
+	out1, m1 := runOnce("1")
+	out2, m2 := runOnce("2")
+	if out1 != out2 {
+		t.Errorf("same scenario produced different reports:\n%s\n----\n%s", out1, out2)
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("same scenario produced different metrics JSON")
+	}
+	for _, want := range []string{"result: PASS", "faults: 1/1 applied", "scenario.asserts"} {
+		if !strings.Contains(out1+string(m1), want) {
+			t.Errorf("report+metrics missing %q:\n%s", want, out1)
+		}
+	}
+}
+
+// TestScenarioShardedWorkerInvariance pins the scenario half of the
+// DESIGN.md §10 contract at the CLI boundary: a sharded-fleet scenario
+// report is byte-identical for any -shards worker count.
+func TestScenarioShardedWorkerInvariance(t *testing.T) {
+	dir := t.TempDir()
+	scn := filepath.Join(dir, "sharded.scn")
+	script := `scenario cli-sharded
+seed 9
+fleet ws 32
+fleet shards 8 rounds=2 barriers=2
+expect net.drops == 0 at end
+expect net.cross.sent > 0 at end
+`
+	if err := os.WriteFile(scn, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func(workers int) string {
+		out, err := captureRun(t, []string{"run", "-shards", fmt.Sprint(workers), scn})
+		if err != nil {
+			t.Fatalf("workers=%d: %v\n%s", workers, err, out)
+		}
+		return out
+	}
+	out1 := runOnce(1)
+	if !strings.Contains(out1, "result: PASS") {
+		t.Fatalf("sharded scenario did not pass:\n%s", out1)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if out := runOnce(workers); out != out1 {
+			t.Errorf("-shards %d report differs from -shards 1:\n%s\n----\n%s", workers, out, out1)
+		}
+	}
+}
+
+// TestScenarioAssertFailureExit pins the exit-code contract: a failed
+// assertion still prints the full report, then surfaces errAssertFailed
+// (exit 2), distinct from parse errors (exit 1).
+func TestScenarioAssertFailureExit(t *testing.T) {
+	dir := t.TempDir()
+	scn := filepath.Join(dir, "fail.scn")
+	script := `scenario cli-fail
+seed 1
+horizon 600s
+fleet ws 4
+expect glunix.rejoins >= 100 at end
+expect no.such.metric == 0 at end
+`
+	if err := os.WriteFile(scn, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureRun(t, []string{"run", scn})
+	if !errors.Is(err, errAssertFailed) {
+		t.Fatalf("want errAssertFailed, got %v", err)
+	}
+	for _, want := range []string{"result: FAIL", "FAIL", "UNKNOWN", "no such metric"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("failure report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Parse errors are ordinary errors, not errAssertFailed.
+	bad := filepath.Join(dir, "bad.scn")
+	if err := os.WriteFile(bad, []byte("scenario x\nbogus line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureRun(t, []string{"run", bad}); err == nil || errors.Is(err, errAssertFailed) {
+		t.Fatalf("parse error misclassified: %v", err)
+	}
+}
+
+// TestCheckShippedScenarios parses every scenario shipped under
+// examples/scenarios/ through the check subcommand.
+func TestCheckShippedScenarios(t *testing.T) {
+	files, err := filepath.Glob("../../examples/scenarios/*.scn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Fatalf("expected at least 2 shipped scenarios, found %v", files)
+	}
+	out, err := captureRun(t, append([]string{"check"}, files...))
+	if err != nil {
+		t.Fatalf("check: %v\n%s", err, out)
+	}
+	for _, f := range files {
+		if !strings.Contains(out, f+": ok") {
+			t.Errorf("check output missing %s:\n%s", f, out)
 		}
 	}
 }

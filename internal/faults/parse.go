@@ -43,6 +43,17 @@ func ParseFile(path string) (Plan, error) {
 	return p, nil
 }
 
+// ParseFaultLine reads one fault from its whitespace-split fields —
+// exactly one plan-file line: [<at>, <kind>, args...]. It is the seam
+// the scenario DSL (internal/scenario, docs/SCENARIOS.md) uses to embed
+// fault lines in event scripts without duplicating the grammar.
+func ParseFaultLine(fields []string) (Fault, error) {
+	if len(fields) == 0 {
+		return Fault{}, fmt.Errorf("empty fault line")
+	}
+	return parseFault(fields)
+}
+
 // Parse reads a plan from r in plan-file syntax.
 func Parse(r io.Reader) (Plan, error) {
 	var p Plan

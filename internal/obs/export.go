@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -31,6 +32,32 @@ type Metric struct {
 type Bucket struct {
 	Le int64 `json:"le"` // inclusive upper bound; -1 = +Inf
 	N  int64 `json:"n"`
+}
+
+// Quantile reports the q-th percentile (0 < q ≤ 100) of a histogram
+// metric as the upper bound of the bucket holding that rank — the
+// standard fixed-bucket estimate, deterministic because the layouts
+// are. An observation that landed in the +Inf bucket reports
+// math.MaxInt64. ok is false when the metric is not a histogram, has no
+// observations, or q is out of range; scenario assertions surface that
+// as "unknown" rather than pass/fail (docs/SCENARIOS.md).
+func (m Metric) Quantile(q float64) (v int64, ok bool) {
+	if m.Type != "histogram" || m.Value <= 0 || q <= 0 || q > 100 {
+		return 0, false
+	}
+	// rank = ⌈q% of n⌉, so p100 is the last observation's bucket.
+	rank := int64(math.Ceil(q / 100 * float64(m.Value)))
+	var seen int64
+	for _, b := range m.Buckets {
+		seen += b.N
+		if seen >= rank {
+			if b.Le < 0 {
+				return math.MaxInt64, true
+			}
+			return b.Le, true
+		}
+	}
+	return math.MaxInt64, true
 }
 
 // Snapshot runs the OnSample hooks, then returns every metric sorted by

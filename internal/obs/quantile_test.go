@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantile pins the fixed-bucket percentile estimate scenario
+// assertions rely on (expect m p95 <= ... — docs/SCENARIOS.md).
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.lat", DepthBuckets) // bounds 1,2,4,8,...
+	// 10 observations: 9 land in the ≤1 bucket, 1 in the ≤8 bucket.
+	for i := 0; i < 9; i++ {
+		h.Observe(1)
+	}
+	h.Observe(7)
+	m := findMetric(t, r, "q.lat")
+
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{50, 1},  // rank 5 of 10 → first bucket
+		{90, 1},  // rank 9 → still the first bucket
+		{95, 8},  // rank 10 → the straggler's bucket
+		{100, 8}, // p100 is the last observation
+	}
+	for _, tc := range cases {
+		got, ok := m.Quantile(tc.q)
+		if !ok || got != tc.want {
+			t.Fatalf("p%g = %d (ok=%v), want %d", tc.q, got, ok, tc.want)
+		}
+	}
+}
+
+// TestQuantileUnknowns pins every not-ok case: wrong type, empty
+// histogram, out-of-range q, and the +Inf overflow bucket.
+func TestQuantileUnknowns(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("q.count").Add(5)
+	empty := r.Histogram("q.empty", DepthBuckets)
+	_ = empty
+	over := r.Histogram("q.over", DepthBuckets)
+	over.Observe(1 << 30) // past the last bound: +Inf bucket
+
+	if _, ok := findMetric(t, r, "q.count").Quantile(50); ok {
+		t.Fatal("quantile of a counter must not be ok")
+	}
+	if _, ok := findMetric(t, r, "q.empty").Quantile(50); ok {
+		t.Fatal("quantile of an empty histogram must not be ok")
+	}
+	m := findMetric(t, r, "q.over")
+	for _, q := range []float64{0, -1, 101} {
+		if _, ok := m.Quantile(q); ok {
+			t.Fatalf("p%g must not be ok", q)
+		}
+	}
+	got, ok := m.Quantile(50)
+	if !ok || got != math.MaxInt64 {
+		t.Fatalf("overflow-bucket quantile = %d (ok=%v), want MaxInt64", got, ok)
+	}
+}
+
+func findMetric(t *testing.T, r *Registry, name string) Metric {
+	t.Helper()
+	for _, m := range r.Snapshot() {
+		if m.Name == name {
+			return m
+		}
+	}
+	t.Fatalf("metric %q not in snapshot", name)
+	return Metric{}
+}

@@ -1,0 +1,442 @@
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/nowproject/now/internal/faults"
+	"github.com/nowproject/now/internal/sim"
+)
+
+// Scenario-file grammar (one directive per line; '#' starts a comment):
+//
+//	scenario <name>
+//	seed <int>
+//	horizon <dur>
+//	fleet ws <n> [policy=<migrate|restart|ignore>] [heartbeat=<dur>] [fabric=<preset>]
+//	fleet xfs <nodes> [spares=<n>] [managers=<n>] [cache=<blocks>] [block=<bytes>] [pipelined]
+//	fleet shards <parts> [rounds=<n>] [barriers=<n>]
+//	at <t> <fault line>                      # any docs/FAULTS.md grammar line
+//	at <t> faults <path>                     # plan file, times offset by <t>
+//	at <t> jobs <count> nodes=<n> work=<dur> [every=<dur>] [grain=<dur>]
+//	at <t> opmix <clients> [meta=<frac>] [think=<dur>] [files=<n>] [blocks=<n>]
+//	at <t> load <factor>
+//	at <t> flashcrowd <users> [for <dur>]
+//	at <t> diurnal [days=<n>]
+//	expect <metric> [p<q>] <op> <value> at <time|end>
+//
+// Times and durations use Go syntax ("90s", "2h"); <op> is one of ==,
+// !=, <=, >=, <, >. Scenario.String emits this grammar, so scenario
+// files round-trip. The full reference is docs/SCENARIOS.md.
+
+// ParseFile reads a scenario file and validates it. The scenario's Dir
+// is set to the file's directory, so fault-plan references resolve
+// relative to the scenario.
+func ParseFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	s.Dir = filepath.Dir(path)
+	return s, nil
+}
+
+// Parse reads a scenario in file syntax and validates it. Errors carry
+// the 1-based source line ("line 7: ...").
+func Parse(r io.Reader) (*Scenario, error) {
+	s := &Scenario{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := s.parseLine(fields, lineNo); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	s.normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseLine dispatches one non-empty directive line.
+func (s *Scenario) parseLine(fields []string, lineNo int) error {
+	switch fields[0] {
+	case "scenario":
+		if len(fields) != 2 {
+			return fmt.Errorf("scenario wants one name")
+		}
+		if s.Name != "" {
+			return fmt.Errorf("duplicate 'scenario' line")
+		}
+		s.Name = fields[1]
+	case "seed":
+		if len(fields) != 2 {
+			return fmt.Errorf("seed wants one integer")
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q", fields[1])
+		}
+		s.Seed = v
+	case "horizon":
+		if len(fields) != 2 {
+			return fmt.Errorf("horizon wants one duration")
+		}
+		d, err := parseDur(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad horizon %q: %w", fields[1], err)
+		}
+		s.Horizon = d
+	case "fleet":
+		if len(fields) < 3 {
+			return fmt.Errorf("fleet wants a kind and a size (fleet ws 32)")
+		}
+		return s.parseFleet(fields[1], fields[2], fields[3:])
+	case "at":
+		if len(fields) < 3 {
+			return fmt.Errorf("at wants a time and an event")
+		}
+		ev, err := parseEvent(fields)
+		if err != nil {
+			return err
+		}
+		ev.Line = lineNo
+		s.Events = append(s.Events, ev)
+	case "expect":
+		ex, err := parseExpect(fields[1:])
+		if err != nil {
+			return err
+		}
+		ex.Line = lineNo
+		s.Expects = append(s.Expects, ex)
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+	return nil
+}
+
+// parseFleet reads one fleet declaration ("ws", "xfs" or "shards").
+func (s *Scenario) parseFleet(kind, size string, opts []string) error {
+	n, err := strconv.Atoi(size)
+	if err != nil || n < 1 {
+		return fmt.Errorf("fleet %s: bad size %q", kind, size)
+	}
+	switch kind {
+	case "ws":
+		if s.Fleet.WS != 0 {
+			return fmt.Errorf("duplicate 'fleet ws' line")
+		}
+		s.Fleet.WS = n
+		for _, o := range opts {
+			k, v, ok := strings.Cut(o, "=")
+			if !ok {
+				return fmt.Errorf("fleet ws: bad option %q (want key=value)", o)
+			}
+			switch k {
+			case "policy":
+				s.Fleet.Policy = v
+			case "heartbeat":
+				d, err := parseDur(v)
+				if err != nil {
+					return fmt.Errorf("fleet ws: bad heartbeat %q: %w", v, err)
+				}
+				s.Fleet.Heartbeat = d
+			case "fabric":
+				s.Fleet.FabricName = v
+			default:
+				return fmt.Errorf("fleet ws: unknown option %q", k)
+			}
+		}
+	case "xfs":
+		if s.Fleet.XFS != nil {
+			return fmt.Errorf("duplicate 'fleet xfs' line")
+		}
+		x := &XFSFleet{Nodes: n}
+		for _, o := range opts {
+			if o == "pipelined" {
+				x.Pipelined = true
+				continue
+			}
+			k, v, ok := strings.Cut(o, "=")
+			if !ok {
+				return fmt.Errorf("fleet xfs: bad option %q (want key=value or pipelined)", o)
+			}
+			iv, err := strconv.Atoi(v)
+			if err != nil || iv < 0 {
+				return fmt.Errorf("fleet xfs: bad %q", o)
+			}
+			switch k {
+			case "spares":
+				x.Spares = iv
+			case "managers":
+				x.Managers = iv
+			case "cache":
+				x.CacheBlocks = iv
+			case "block":
+				x.BlockBytes = iv
+			default:
+				return fmt.Errorf("fleet xfs: unknown option %q", k)
+			}
+		}
+		s.Fleet.XFS = x
+	case "shards":
+		if s.Fleet.Shards != nil {
+			return fmt.Errorf("duplicate 'fleet shards' line")
+		}
+		sh := &ShardFleet{Parts: n}
+		for _, o := range opts {
+			k, v, ok := strings.Cut(o, "=")
+			if !ok {
+				return fmt.Errorf("fleet shards: bad option %q (want key=value)", o)
+			}
+			iv, err := strconv.Atoi(v)
+			if err != nil || iv < 1 {
+				return fmt.Errorf("fleet shards: bad %q", o)
+			}
+			switch k {
+			case "rounds":
+				sh.Rounds = iv
+			case "barriers":
+				sh.Barriers = iv
+			default:
+				return fmt.Errorf("fleet shards: unknown option %q", k)
+			}
+		}
+		s.Fleet.Shards = sh
+	default:
+		return fmt.Errorf("unknown fleet kind %q (want ws, xfs or shards)", kind)
+	}
+	return nil
+}
+
+// faultKinds recognizes a fault-grammar keyword in event position.
+var faultKinds = map[string]bool{
+	"crash": true, "recover": true, "partition": true, "heal": true,
+	"link": true, "linkclear": true, "diskfail": true, "rebuild": true,
+	"mgrkill": true,
+}
+
+// parseEvent reads one "at <t> ..." line (fields includes the leading
+// "at").
+func parseEvent(fields []string) (Event, error) {
+	at, err := parseDur(fields[1])
+	if err != nil {
+		return Event{}, fmt.Errorf("bad time %q: %w", fields[1], err)
+	}
+	ev := Event{At: sim.Time(at)}
+	kind := fields[2]
+	args := fields[3:]
+
+	if faultKinds[kind] {
+		// Delegate the whole line (minus "at") to the fault grammar; the
+		// fault's At and the event's At are the same token.
+		f, err := faults.ParseFaultLine(fields[1:])
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Kind, ev.Fault = EvFault, f
+		return ev, nil
+	}
+
+	switch kind {
+	case "faults":
+		if len(args) != 1 {
+			return Event{}, fmt.Errorf("faults wants one plan-file path")
+		}
+		ev.Kind, ev.Path = EvFaultPlan, args[0]
+	case "jobs":
+		if len(args) < 1 {
+			return Event{}, fmt.Errorf("jobs wants a count")
+		}
+		ev.Count, err = strconv.Atoi(args[0])
+		if err != nil {
+			return Event{}, fmt.Errorf("jobs: bad count %q", args[0])
+		}
+		for _, o := range args[1:] {
+			k, v, ok := strings.Cut(o, "=")
+			if !ok {
+				return Event{}, fmt.Errorf("jobs: bad option %q (want key=value)", o)
+			}
+			switch k {
+			case "nodes":
+				ev.Nodes, err = strconv.Atoi(v)
+			case "work":
+				ev.Work, err = parseDur(v)
+			case "every":
+				ev.Every, err = parseDur(v)
+			case "grain":
+				ev.Grain, err = parseDur(v)
+			default:
+				return Event{}, fmt.Errorf("jobs: unknown option %q", k)
+			}
+			if err != nil {
+				return Event{}, fmt.Errorf("jobs: bad %q: %w", o, err)
+			}
+		}
+		ev.Kind = EvJobs
+	case "opmix":
+		if len(args) < 1 {
+			return Event{}, fmt.Errorf("opmix wants a client count")
+		}
+		ev.Clients, err = strconv.Atoi(args[0])
+		if err != nil {
+			return Event{}, fmt.Errorf("opmix: bad client count %q", args[0])
+		}
+		for _, o := range args[1:] {
+			k, v, ok := strings.Cut(o, "=")
+			if !ok {
+				return Event{}, fmt.Errorf("opmix: bad option %q (want key=value)", o)
+			}
+			switch k {
+			case "meta":
+				ev.MetaFrac, err = strconv.ParseFloat(v, 64)
+			case "think":
+				ev.Think, err = parseDur(v)
+			case "files":
+				ev.Files, err = strconv.Atoi(v)
+			case "blocks":
+				ev.Blocks, err = strconv.Atoi(v)
+			default:
+				return Event{}, fmt.Errorf("opmix: unknown option %q", k)
+			}
+			if err != nil {
+				return Event{}, fmt.Errorf("opmix: bad %q: %w", o, err)
+			}
+		}
+		ev.Kind = EvOpMix
+	case "load":
+		if len(args) != 1 {
+			return Event{}, fmt.Errorf("load wants one factor")
+		}
+		ev.Load, err = strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("load: bad factor %q", args[0])
+		}
+		ev.Kind = EvLoad
+	case "flashcrowd":
+		if len(args) < 1 {
+			return Event{}, fmt.Errorf("flashcrowd wants a user count")
+		}
+		ev.Users, err = strconv.Atoi(args[0])
+		if err != nil {
+			return Event{}, fmt.Errorf("flashcrowd: bad user count %q", args[0])
+		}
+		switch {
+		case len(args) == 1:
+		case len(args) == 3 && args[1] == "for":
+			ev.For, err = parseDur(args[2])
+			if err != nil {
+				return Event{}, fmt.Errorf("flashcrowd: bad window %q: %w", args[2], err)
+			}
+		default:
+			return Event{}, fmt.Errorf("flashcrowd wants <users> [for <dur>]")
+		}
+		ev.Kind = EvFlashCrowd
+	case "diurnal":
+		for _, o := range args {
+			k, v, ok := strings.Cut(o, "=")
+			if !ok || k != "days" {
+				return Event{}, fmt.Errorf("diurnal: unknown option %q (want days=<n>)", o)
+			}
+			ev.Days, err = strconv.Atoi(v)
+			if err != nil || ev.Days < 1 {
+				return Event{}, fmt.Errorf("diurnal: bad %q", o)
+			}
+		}
+		ev.Kind = EvDiurnal
+	default:
+		return Event{}, fmt.Errorf("unknown event %q", kind)
+	}
+	return ev, nil
+}
+
+// parseExpect reads one assertion ("expect" already stripped):
+// <metric> [p<q>] <op> <value> at <time|end>.
+func parseExpect(args []string) (Expect, error) {
+	if len(args) < 5 {
+		return Expect{}, fmt.Errorf("expect wants '<metric> [p<q>] <op> <value> at <time|end>'")
+	}
+	ex := Expect{Metric: args[0]}
+	rest := args[1:]
+	if strings.HasPrefix(rest[0], "p") {
+		if _, err := ParseCmpOp(rest[0]); err != nil {
+			q, err := strconv.ParseFloat(rest[0][1:], 64)
+			if err != nil {
+				return Expect{}, fmt.Errorf("bad quantile %q (want p50, p95, p99.9, ...)", rest[0])
+			}
+			ex.Quantile = q
+			rest = rest[1:]
+		}
+	}
+	if len(rest) != 4 || rest[2] != "at" {
+		return Expect{}, fmt.Errorf("expect wants '<metric> [p<q>] <op> <value> at <time|end>'")
+	}
+	op, err := ParseCmpOp(rest[0])
+	if err != nil {
+		return Expect{}, err
+	}
+	ex.Op = op
+	if d, derr := parseDur(rest[1]); derr == nil && !isPlainInt(rest[1]) {
+		ex.Value, ex.IsDur = int64(d), true
+	} else {
+		v, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil {
+			return Expect{}, fmt.Errorf("bad value %q (want an integer or a duration)", rest[1])
+		}
+		ex.Value = v
+	}
+	if rest[3] == "end" {
+		ex.AtEnd = true
+	} else {
+		at, err := parseDur(rest[3])
+		if err != nil {
+			return Expect{}, fmt.Errorf("bad checkpoint %q (want a duration or 'end'): %w", rest[3], err)
+		}
+		ex.At = sim.Time(at)
+	}
+	return ex, nil
+}
+
+// isPlainInt distinguishes "120" (a count) from "120s" (a duration);
+// time.ParseDuration accepts bare "0" but scenario files write counts
+// far more often, so an undecorated integer is always a count.
+func isPlainInt(s string) bool {
+	_, err := strconv.ParseInt(s, 10, 64)
+	return err == nil
+}
+
+// parseDur reads a Go-syntax duration into virtual time.
+func parseDur(s string) (sim.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %q", s)
+	}
+	return sim.Duration(d.Nanoseconds()), nil
+}

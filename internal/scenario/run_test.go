@@ -1,0 +1,159 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyScenario is a fast cluster story: a crash window, a job batch,
+// and assertions spanning all three outcomes.
+const tinyScenario = `scenario tiny
+seed 3
+horizon 600s
+fleet ws 4
+at 10s jobs 2 nodes=2 work=60s every=5s
+at 120s crash 3 for 60s
+expect faults.injected == 0 at 60s
+expect faults.injected >= 1 at 300s
+expect glunix.restarts >= 0 at end
+expect no.such.metric == 0 at end
+expect faults.injected == 99 at end
+`
+
+func mustParse(t *testing.T, in string) *Scenario {
+	t.Helper()
+	s, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRunOutcomes drives the tiny scenario end to end and checks each
+// assertion lands in the right bucket: timed checks see the state at
+// their instant, a typo'd metric is Unknown (not a silent pass), and a
+// wrong expectation fails.
+func TestRunOutcomes(t *testing.T) {
+	res, err := Run(mustParse(t, tinyScenario), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checks) != 5 {
+		t.Fatalf("got %d checks: %+v", len(res.Checks), res.Checks)
+	}
+	wantOutcome := func(i int, o Outcome) {
+		t.Helper()
+		if res.Checks[i].Outcome != o {
+			t.Fatalf("check %d (%s): got %s want %s [%s]",
+				i, res.Checks[i].Expect.String(), res.Checks[i].Outcome, o, res.Checks[i].Detail)
+		}
+	}
+	wantOutcome(0, Pass) // before the crash: 0 faults injected
+	wantOutcome(1, Pass) // after: at least 1
+	wantOutcome(2, Pass)
+	wantOutcome(3, Unknown)
+	wantOutcome(4, Fail)
+	if res.Pass != 3 || res.Fail != 1 || res.Unknown != 1 {
+		t.Fatalf("tally %d/%d/%d", res.Pass, res.Fail, res.Unknown)
+	}
+	if res.Ok() {
+		t.Fatal("a failing run must not be Ok")
+	}
+	if res.JobsTotal != 2 {
+		t.Fatalf("jobs total %d", res.JobsTotal)
+	}
+	if res.FaultsApplied < 1 || res.FaultsTot != 1 {
+		t.Fatalf("faults %d/%d", res.FaultsApplied, res.FaultsTot)
+	}
+	// The registry carries the scenario.* counters for export.
+	if v, ok := res.Registry.CounterValue("scenario.asserts.unknown"); !ok || v != 1 {
+		t.Fatalf("scenario.asserts.unknown = %d, %v", v, ok)
+	}
+	if v, ok := res.Registry.CounterValue("scenario.checkpoints"); !ok || v != 3 {
+		t.Fatalf("scenario.checkpoints = %d, %v", v, ok)
+	}
+}
+
+// TestRunDeterminism runs the same scenario twice: report and metrics
+// export must be byte-identical — the property verify.sh golden-gates.
+func TestRunDeterminism(t *testing.T) {
+	run := func() (string, []byte) {
+		res, err := Run(mustParse(t, tinyScenario), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Registry.WriteMetricsJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res.Report(), buf.Bytes()
+	}
+	r1, m1 := run()
+	r2, m2 := run()
+	if r1 != r2 {
+		t.Fatalf("reports differ:\n--- 1 ---\n%s--- 2 ---\n%s", r1, r2)
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("metrics exports differ")
+	}
+}
+
+// TestRunOpMix drives the NFS-style op mix on a small xFS-only fleet:
+// the metadata fraction must dominate as declared, the latency
+// histogram must populate (so p-quantile assertions have data), and a
+// load event must not break determinism.
+func TestRunOpMix(t *testing.T) {
+	in := `scenario mix
+seed 11
+horizon 120s
+fleet xfs 4
+at 0s opmix 6 meta=0.9 think=1s files=8 blocks=4
+at 60s load 2
+expect scenario.opmix.ops > 50 at end
+expect scenario.opmix.latency.ns p95 <= 1s at end
+expect net.drops.injected == 0 at end
+`
+	res, err := Run(mustParse(t, in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("op-mix run not green:\n%s", res.Report())
+	}
+	if res.MetaOps <= res.DataOps {
+		t.Fatalf("meta=%d data=%d: metadata ops should dominate at meta=0.9", res.MetaOps, res.DataOps)
+	}
+	if res.XFSNet == nil || res.XFSNet.Delivered == 0 {
+		t.Fatal("xfs fabric saw no traffic")
+	}
+}
+
+// TestRunSharded checks the sharded path: end assertions evaluate on
+// the merged registry, and the report is identical across worker
+// counts (Workers is execution, not identity).
+func TestRunSharded(t *testing.T) {
+	in := `scenario shardy
+seed 5
+fleet ws 16
+fleet shards 4 rounds=2 barriers=2
+expect net.drops == 0 at end
+expect net.cross.sent > 0 at end
+`
+	s := mustParse(t, in)
+	run := func(workers int) string {
+		res, err := Run(s, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sharded == nil {
+			t.Fatal("no sharded result")
+		}
+		return res.Report()
+	}
+	r1 := run(1)
+	r4 := run(4)
+	if r1 != r4 {
+		t.Fatalf("report depends on worker count:\n--- w1 ---\n%s--- w4 ---\n%s", r1, r4)
+	}
+}

@@ -1,0 +1,575 @@
+// Package scenario is the declarative scenario engine: cluster stories
+// as checked-in text files instead of hand-coded Go experiments. A
+// scenario declares a fleet (a GLUnix cluster, an xFS installation, or
+// a sharded multicore run), a timed event script (job arrivals, fault
+// lines and fault-plan references, flash crowds, diurnal idleness, an
+// NFS-style op-mix workload with a diurnal load curve), and assertions
+// checked against the observability registry at named checkpoints.
+//
+// The DSL is a compact line grammar in the style of the fault-plan
+// grammar (docs/FAULTS.md): one directive per line, '#' comments,
+// Go-syntax durations. Parse reads it; Scenario.String prints it back
+// canonically, and parse∘print is the identity (TestParsePrintIdentity)
+// — a scenario file is a deterministic input the same way a fault plan
+// is. The full grammar, every event kind, every assertion form and the
+// runner's exit codes are documented in docs/SCENARIOS.md.
+//
+// Run executes a scenario on a fresh engine seeded from the file. All
+// workload randomness derives from that seed through private RNG
+// streams, every event is an ordinary engine event, and assertions read
+// deterministic registry snapshots — so a scenario's report and metric
+// exports are byte-identical run to run, and (for sharded fleets)
+// across worker counts. scripts/verify.sh golden-gates the shipped
+// scenarios under examples/scenarios/ on exactly that property.
+//
+// Architecture (DESIGN.md §11): parse → schedule → assert. The parser
+// produces a normalized Scenario (events sorted by time, expectations
+// by checkpoint); the runner translates it into engine events against
+// live subsystems built from the fleet declaration; checkpoints are
+// themselves engine events that snapshot the registry and record
+// pass/fail/unknown outcomes as scenario.* metrics.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/nowproject/now/internal/faults"
+	"github.com/nowproject/now/internal/sim"
+)
+
+// Scenario is one parsed scenario file: a fleet, an event script, and
+// the expectations to check. Build one with Parse/ParseFile or in code;
+// Validate reports structural problems either way.
+type Scenario struct {
+	// Name labels the scenario in reports and spans.
+	Name string
+	// Seed drives the engine and every derived RNG stream.
+	Seed int64
+	// Horizon is the length of the run in virtual time. Sharded fleets
+	// run their workload to completion instead and ignore it.
+	Horizon sim.Duration
+	// Fleet declares what to build.
+	Fleet Fleet
+	// Events is the timed script, sorted by At (ties keep file order).
+	Events []Event
+	// Expects are the assertions, sorted by checkpoint.
+	Expects []Expect
+	// Dir is the directory fault-plan references resolve against.
+	// ParseFile sets it to the scenario file's directory; it is not part
+	// of the printed form.
+	Dir string
+}
+
+// Fleet declares the systems a scenario runs against. At least one of
+// WS, XFS or Shards must be set; Shards additionally requires WS (the
+// node count) and excludes everything else.
+type Fleet struct {
+	// WS is the GLUnix cluster size (0 = no cluster). Node 0 is the
+	// master; workstations are 1..WS, as everywhere in the repo.
+	WS int
+	// Policy is the user-return policy: "migrate" (default), "restart"
+	// or "ignore".
+	Policy string
+	// Heartbeat overrides the GLUnix heartbeat interval (0 = default).
+	Heartbeat sim.Duration
+	// FabricName picks the cluster fabric preset: "ethernet10",
+	// "atm155" (default), "fddi100" or "myrinet".
+	FabricName string
+	// XFS declares a serverless file system sharing the engine.
+	XFS *XFSFleet
+	// Shards switches the scenario to the sharded multicore engine.
+	Shards *ShardFleet
+}
+
+// XFSFleet shapes the storage side of a fleet.
+type XFSFleet struct {
+	// Nodes participate in the installation (each runs a client and a
+	// storage server).
+	Nodes int
+	// Spares are hot spares at the end of the id range (rebuild targets).
+	Spares int
+	// Managers is the manager-set size (0 = xfs default, nodes/4).
+	Managers int
+	// CacheBlocks bounds each client cache (0 = xfs default).
+	CacheBlocks int
+	// BlockBytes is the file block size (0 = xfs default).
+	BlockBytes int
+	// Pipelined turns on the batched data path (DESIGN.md §9).
+	Pipelined bool
+}
+
+// ShardFleet runs the partitioned cluster workload of DESIGN.md §10 on
+// the sharded engine. Parts is workload identity; the worker count is
+// an execution-only Options knob and never appears in the file.
+type ShardFleet struct {
+	Parts int
+	// Rounds and Barriers shape the per-rank workload (0 = defaults: 4
+	// each, the nowsim -shards shape).
+	Rounds   int
+	Barriers int
+}
+
+// EventKind classifies a scripted event.
+type EventKind int
+
+const (
+	// EvFault is one fault-grammar line (crash, partition, link,
+	// diskfail, rebuild, mgrkill, ... — docs/FAULTS.md).
+	EvFault EventKind = iota + 1
+	// EvFaultPlan references a fault-plan file; its times are offset by
+	// the event time.
+	EvFaultPlan
+	// EvJobs submits a batch of parallel jobs to the GLUnix master.
+	EvJobs
+	// EvOpMix starts the NFS-style op-mix client population on the xFS
+	// fleet.
+	EvOpMix
+	// EvLoad sets the op-mix load factor (the diurnal curve is a series
+	// of load events).
+	EvLoad
+	// EvFlashCrowd turns a burst of interactive users active on the
+	// cluster for a window.
+	EvFlashCrowd
+	// EvDiurnal feeds the generated diurnal interactive-activity trace
+	// into the cluster's daemons.
+	EvDiurnal
+)
+
+// Event is one line of the timed script. Which fields matter depends on
+// Kind; zero values mean "runner default" and are omitted when printed.
+type Event struct {
+	// At is the event time.
+	At sim.Time
+	// Kind selects the event class.
+	Kind EventKind
+	// Line is the source line the event was parsed from (0 for events
+	// built in code). Not part of the printed form.
+	Line int
+
+	// Fault is the embedded fault (EvFault); Fault.At mirrors At.
+	Fault faults.Fault
+	// Path is the referenced plan file (EvFaultPlan). No whitespace.
+	Path string
+	// Count, Nodes, Work, Every, Grain shape a jobs batch (EvJobs).
+	Count int
+	Nodes int
+	Work  sim.Duration
+	Every sim.Duration
+	Grain sim.Duration
+	// Clients, MetaFrac, Think, Files, Blocks shape the op mix (EvOpMix).
+	Clients  int
+	MetaFrac float64
+	Think    sim.Duration
+	Files    int
+	Blocks   int
+	// Load is the op-mix intensity multiplier (EvLoad).
+	Load float64
+	// Users is the flash-crowd size (EvFlashCrowd).
+	Users int
+	// For is the flash-crowd window (0 = until the trace says otherwise).
+	For sim.Duration
+	// Days sizes the diurnal activity trace (EvDiurnal; 0 = enough to
+	// cover the horizon).
+	Days int
+}
+
+// CmpOp is an assertion comparison operator.
+type CmpOp int
+
+const (
+	OpEQ CmpOp = iota + 1
+	OpNE
+	OpLE
+	OpGE
+	OpLT
+	OpGT
+)
+
+var opNames = [...]string{OpEQ: "==", OpNE: "!=", OpLE: "<=", OpGE: ">=", OpLT: "<", OpGT: ">"}
+
+// String renders the operator as written in scenario files.
+func (o CmpOp) String() string {
+	if o >= 1 && int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// ParseCmpOp reads an operator token.
+func ParseCmpOp(s string) (CmpOp, error) {
+	for o, n := range opNames {
+		if n == s {
+			return CmpOp(o), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown comparison %q (want ==, !=, <=, >=, <, >)", s)
+}
+
+// Eval applies the comparison.
+func (o CmpOp) Eval(got, want int64) bool {
+	switch o {
+	case OpEQ:
+		return got == want
+	case OpNE:
+		return got != want
+	case OpLE:
+		return got <= want
+	case OpGE:
+		return got >= want
+	case OpLT:
+		return got < want
+	case OpGT:
+		return got > want
+	}
+	return false
+}
+
+// Expect is one assertion: compare a metric (counter or gauge value,
+// histogram observation count, or histogram quantile when Quantile is
+// set) against Value at a checkpoint — a virtual time, or the end of
+// the run.
+type Expect struct {
+	// Metric is the registry name (docs/OBSERVABILITY.md).
+	Metric string
+	// Quantile, when nonzero, asserts the p-th percentile of a histogram
+	// (the "p95" form); zero asserts the metric's value.
+	Quantile float64
+	// Op compares observed against Value.
+	Op CmpOp
+	// Value is the expectation, in the metric's unit (durations in ns).
+	Value int64
+	// IsDur records that Value was written as a duration, so printing
+	// round-trips the unit.
+	IsDur bool
+	// AtEnd checks after the run completes; otherwise At is the
+	// checkpoint time.
+	AtEnd bool
+	At    sim.Time
+	// Line is the source line (0 for expects built in code).
+	Line int
+}
+
+// fabricPresets names the netsim presets a fleet line may pick.
+var fabricPresets = []string{"ethernet10", "atm155", "fddi100", "myrinet"}
+
+// policies names the GLUnix user-return policies.
+var policies = []string{"migrate", "restart", "ignore"}
+
+// normalize stable-sorts events by time and expects by checkpoint, the
+// canonical order String prints. Like faults.Plan, a scenario's
+// identity is its normalized form.
+func (s *Scenario) normalize() {
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	sort.SliceStable(s.Expects, func(i, j int) bool {
+		a, b := s.Expects[i], s.Expects[j]
+		if a.AtEnd != b.AtEnd {
+			return !a.AtEnd // timed checkpoints before end
+		}
+		return a.At < b.At
+	})
+}
+
+// String renders the scenario in canonical file syntax. Parsing the
+// result yields an equal scenario (modulo source-line numbers and Dir):
+// parse∘print is the identity.
+func (s *Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s\n", s.Name)
+	fmt.Fprintf(&b, "seed %d\n", s.Seed)
+	if s.Horizon > 0 {
+		fmt.Fprintf(&b, "horizon %s\n", s.Horizon)
+	}
+	if s.Fleet.WS > 0 {
+		fmt.Fprintf(&b, "fleet ws %d", s.Fleet.WS)
+		if s.Fleet.Policy != "" {
+			fmt.Fprintf(&b, " policy=%s", s.Fleet.Policy)
+		}
+		if s.Fleet.Heartbeat > 0 {
+			fmt.Fprintf(&b, " heartbeat=%s", s.Fleet.Heartbeat)
+		}
+		if s.Fleet.FabricName != "" {
+			fmt.Fprintf(&b, " fabric=%s", s.Fleet.FabricName)
+		}
+		b.WriteByte('\n')
+	}
+	if x := s.Fleet.XFS; x != nil {
+		fmt.Fprintf(&b, "fleet xfs %d", x.Nodes)
+		if x.Spares > 0 {
+			fmt.Fprintf(&b, " spares=%d", x.Spares)
+		}
+		if x.Managers > 0 {
+			fmt.Fprintf(&b, " managers=%d", x.Managers)
+		}
+		if x.CacheBlocks > 0 {
+			fmt.Fprintf(&b, " cache=%d", x.CacheBlocks)
+		}
+		if x.BlockBytes > 0 {
+			fmt.Fprintf(&b, " block=%d", x.BlockBytes)
+		}
+		if x.Pipelined {
+			b.WriteString(" pipelined")
+		}
+		b.WriteByte('\n')
+	}
+	if sh := s.Fleet.Shards; sh != nil {
+		fmt.Fprintf(&b, "fleet shards %d", sh.Parts)
+		if sh.Rounds > 0 {
+			fmt.Fprintf(&b, " rounds=%d", sh.Rounds)
+		}
+		if sh.Barriers > 0 {
+			fmt.Fprintf(&b, " barriers=%d", sh.Barriers)
+		}
+		b.WriteByte('\n')
+	}
+	for _, ev := range s.Events {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	for _, ex := range s.Expects {
+		b.WriteString(ex.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders the event as a scenario line.
+func (ev Event) String() string {
+	var b strings.Builder
+	switch ev.Kind {
+	case EvFault:
+		// Fault.String already leads with the time in plan-file syntax.
+		fmt.Fprintf(&b, "at %s", ev.Fault.String())
+		return b.String()
+	}
+	fmt.Fprintf(&b, "at %s ", sim.Duration(ev.At))
+	switch ev.Kind {
+	case EvFaultPlan:
+		fmt.Fprintf(&b, "faults %s", ev.Path)
+	case EvJobs:
+		fmt.Fprintf(&b, "jobs %d nodes=%d work=%s", ev.Count, ev.Nodes, ev.Work)
+		if ev.Every > 0 {
+			fmt.Fprintf(&b, " every=%s", ev.Every)
+		}
+		if ev.Grain > 0 {
+			fmt.Fprintf(&b, " grain=%s", ev.Grain)
+		}
+	case EvOpMix:
+		fmt.Fprintf(&b, "opmix %d", ev.Clients)
+		if ev.MetaFrac > 0 {
+			fmt.Fprintf(&b, " meta=%s", formatFrac(ev.MetaFrac))
+		}
+		if ev.Think > 0 {
+			fmt.Fprintf(&b, " think=%s", ev.Think)
+		}
+		if ev.Files > 0 {
+			fmt.Fprintf(&b, " files=%d", ev.Files)
+		}
+		if ev.Blocks > 0 {
+			fmt.Fprintf(&b, " blocks=%d", ev.Blocks)
+		}
+	case EvLoad:
+		fmt.Fprintf(&b, "load %s", formatFrac(ev.Load))
+	case EvFlashCrowd:
+		fmt.Fprintf(&b, "flashcrowd %d", ev.Users)
+		if ev.For > 0 {
+			fmt.Fprintf(&b, " for %s", ev.For)
+		}
+	case EvDiurnal:
+		b.WriteString("diurnal")
+		if ev.Days > 0 {
+			fmt.Fprintf(&b, " days=%d", ev.Days)
+		}
+	default:
+		fmt.Fprintf(&b, "event(%d)", int(ev.Kind))
+	}
+	return b.String()
+}
+
+// String renders the assertion as a scenario line.
+func (ex Expect) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "expect %s", ex.Metric)
+	if ex.Quantile > 0 {
+		fmt.Fprintf(&b, " p%s", formatFrac(ex.Quantile))
+	}
+	fmt.Fprintf(&b, " %s ", ex.Op)
+	if ex.IsDur {
+		fmt.Fprintf(&b, "%s", sim.Duration(ex.Value))
+	} else {
+		fmt.Fprintf(&b, "%d", ex.Value)
+	}
+	if ex.AtEnd {
+		b.WriteString(" at end")
+	} else {
+		fmt.Fprintf(&b, " at %s", sim.Duration(ex.At))
+	}
+	return b.String()
+}
+
+// formatFrac prints a fraction the way scenario files write them:
+// shortest decimal form ("0.95", "1.5", "99").
+func formatFrac(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Validate reports the first structural problem: a missing fleet, an
+// event addressed at a fleet the scenario does not declare, a
+// checkpoint past the horizon, a sharded fleet mixed with scripted
+// events. Parse validates automatically; code-built scenarios should
+// call it before Run (Run calls it again regardless).
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing 'scenario <name>' line")
+	}
+	fl := s.Fleet
+	if fl.WS == 0 && fl.XFS == nil && fl.Shards == nil {
+		return fmt.Errorf("scenario %s: no fleet declared (want 'fleet ws', 'fleet xfs' or 'fleet shards')", s.Name)
+	}
+	if fl.WS < 0 {
+		return fmt.Errorf("scenario %s: fleet ws %d", s.Name, fl.WS)
+	}
+	if fl.Policy != "" && !contains(policies, fl.Policy) {
+		return fmt.Errorf("scenario %s: unknown policy %q (want migrate, restart or ignore)", s.Name, fl.Policy)
+	}
+	if fl.FabricName != "" && !contains(fabricPresets, fl.FabricName) {
+		return fmt.Errorf("scenario %s: unknown fabric %q (want %s)", s.Name, fl.FabricName, strings.Join(fabricPresets, ", "))
+	}
+	if x := fl.XFS; x != nil {
+		if x.Nodes-x.Spares < 3 {
+			return fmt.Errorf("scenario %s: fleet xfs %d spares=%d leaves fewer than 3 stripe members", s.Name, x.Nodes, x.Spares)
+		}
+	}
+	if sh := fl.Shards; sh != nil {
+		if fl.WS < 2 {
+			return fmt.Errorf("scenario %s: fleet shards needs 'fleet ws <nodes>' with at least 2 nodes", s.Name)
+		}
+		if fl.XFS != nil {
+			return fmt.Errorf("scenario %s: fleet shards cannot combine with fleet xfs", s.Name)
+		}
+		if sh.Parts < 1 || sh.Parts > fl.WS {
+			return fmt.Errorf("scenario %s: fleet shards %d with %d nodes", s.Name, sh.Parts, fl.WS)
+		}
+		if len(s.Events) > 0 {
+			return fmt.Errorf("scenario %s: %s: sharded scenarios take no events", s.Name, at(s.Events[0]))
+		}
+		for _, ex := range s.Expects {
+			if !ex.AtEnd {
+				return fmt.Errorf("scenario %s: %s: sharded scenarios support 'at end' checkpoints only", s.Name, atx(ex))
+			}
+		}
+		return nil
+	}
+	if s.Horizon <= 0 {
+		return fmt.Errorf("scenario %s: missing 'horizon <duration>' line", s.Name)
+	}
+	for _, ev := range s.Events {
+		if ev.At > sim.Time(s.Horizon) {
+			return fmt.Errorf("scenario %s: %s: event at %s is past the horizon %s", s.Name, at(ev), sim.Duration(ev.At), s.Horizon)
+		}
+		if err := s.validateEvent(ev); err != nil {
+			return fmt.Errorf("scenario %s: %s: %w", s.Name, at(ev), err)
+		}
+	}
+	for _, ex := range s.Expects {
+		if !ex.AtEnd && ex.At > sim.Time(s.Horizon) {
+			return fmt.Errorf("scenario %s: %s: checkpoint %s is past the horizon %s (use 'at end')", s.Name, atx(ex), sim.Duration(ex.At), s.Horizon)
+		}
+		if ex.Quantile < 0 || ex.Quantile > 100 {
+			return fmt.Errorf("scenario %s: %s: quantile p%s out of (0,100]", s.Name, atx(ex), formatFrac(ex.Quantile))
+		}
+	}
+	return nil
+}
+
+// validateEvent checks one event against the declared fleet.
+func (s *Scenario) validateEvent(ev Event) error {
+	needWS := func(what string) error {
+		if s.Fleet.WS == 0 {
+			return fmt.Errorf("%s needs a 'fleet ws' cluster", what)
+		}
+		return nil
+	}
+	needXFS := func(what string) error {
+		if s.Fleet.XFS == nil {
+			return fmt.Errorf("%s needs a 'fleet xfs' installation", what)
+		}
+		return nil
+	}
+	switch ev.Kind {
+	case EvFault:
+		switch ev.Fault.Kind {
+		case faults.Crash, faults.Recover, faults.Partition, faults.Heal, faults.Link, faults.LinkClear:
+			return needWS(ev.Fault.Kind.String())
+		case faults.DiskFail, faults.Rebuild, faults.MgrKill:
+			return needXFS(ev.Fault.Kind.String())
+		}
+	case EvFaultPlan:
+		if s.Fleet.WS == 0 && s.Fleet.XFS == nil {
+			return fmt.Errorf("faults needs a fleet to inject into")
+		}
+	case EvJobs:
+		if err := needWS("jobs"); err != nil {
+			return err
+		}
+		if ev.Count < 1 || ev.Nodes < 1 || ev.Work <= 0 {
+			return fmt.Errorf("jobs wants a positive count, nodes= and work=")
+		}
+		if ev.Nodes > s.Fleet.WS {
+			return fmt.Errorf("jobs nodes=%d exceeds the %d-workstation fleet", ev.Nodes, s.Fleet.WS)
+		}
+	case EvOpMix:
+		if err := needXFS("opmix"); err != nil {
+			return err
+		}
+		if ev.Clients < 1 {
+			return fmt.Errorf("opmix wants a positive client count")
+		}
+		if ev.MetaFrac < 0 || ev.MetaFrac > 1 {
+			return fmt.Errorf("opmix meta=%s out of [0,1]", formatFrac(ev.MetaFrac))
+		}
+	case EvLoad:
+		if ev.Load <= 0 {
+			return fmt.Errorf("load wants a positive factor")
+		}
+	case EvFlashCrowd:
+		if err := needWS("flashcrowd"); err != nil {
+			return err
+		}
+		if ev.Users < 1 {
+			return fmt.Errorf("flashcrowd wants a positive user count")
+		}
+	case EvDiurnal:
+		return needWS("diurnal")
+	default:
+		return fmt.Errorf("unknown event kind %d", int(ev.Kind))
+	}
+	return nil
+}
+
+// at names an event for error messages, preferring its source line.
+func at(ev Event) string {
+	if ev.Line > 0 {
+		return fmt.Sprintf("line %d", ev.Line)
+	}
+	return fmt.Sprintf("event %q", ev.String())
+}
+
+// atx names an expect for error messages.
+func atx(ex Expect) string {
+	if ex.Line > 0 {
+		return fmt.Sprintf("line %d", ex.Line)
+	}
+	return fmt.Sprintf("expect %q", ex.String())
+}
+
+func contains(set []string, s string) bool {
+	for _, v := range set {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/nowproject/now/internal/faults"
+	"github.com/nowproject/now/internal/sim"
+)
+
+// sampleScenario exercises every directive and event kind the grammar
+// knows, in canonical form (sorted events, sorted expects).
+const sampleScenario = `scenario kitchen-sink
+seed 7
+horizon 7200s
+fleet ws 16 policy=restart heartbeat=2s fabric=myrinet
+fleet xfs 10 spares=2 managers=2 cache=32 block=4096 pipelined
+at 0s diurnal days=1
+at 60s opmix 8 meta=0.95 think=2s files=16 blocks=8
+at 120s jobs 3 nodes=4 work=300s every=60s grain=10s
+at 600s partition 3,4 for 120s
+at 900s load 1.5
+at 1200s crash 5 for 300s
+at 1500s diskfail 2
+at 1800s flashcrowd 6 for 600s
+at 2100s rebuild 2
+at 2700s mgrkill 0
+expect glunix.ws.idle >= 0 at 300s
+expect faults.injected >= 2 at 1800s
+expect net.drops.injected != 0 at end
+expect scenario.opmix.latency.ns p95 <= 50ms at end
+expect scenario.opmix.ops > 0 at end
+`
+
+// TestParsePrintIdentity is the grammar's core contract: parsing the
+// canonical form and printing it back is the identity, and a second
+// round trip is a fixed point.
+func TestParsePrintIdentity(t *testing.T) {
+	s, err := Parse(strings.NewReader(sampleScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.String()
+	if got != sampleScenario {
+		t.Fatalf("parse∘print not identity:\n--- want ---\n%s--- got ---\n%s", sampleScenario, got)
+	}
+	s2, err := Parse(strings.NewReader(got))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if s2.String() != got {
+		t.Fatal("print is not a fixed point")
+	}
+}
+
+// TestParseNormalizes checks that out-of-order events and expects print
+// in canonical (time-sorted) order.
+func TestParseNormalizes(t *testing.T) {
+	in := `scenario ooo
+seed 1
+horizon 100s
+fleet ws 4
+at 50s crash 2
+at 10s crash 1
+expect faults.injected == 2 at end
+expect faults.injected == 1 at 20s
+`
+	s, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.String()
+	if strings.Index(out, "crash 1") > strings.Index(out, "crash 2") {
+		t.Fatalf("events not sorted by time:\n%s", out)
+	}
+	if strings.Index(out, "at 20s") > strings.Index(out, "at end") {
+		t.Fatalf("timed expects must precede end expects:\n%s", out)
+	}
+}
+
+// TestParseFaultEvent checks the fault grammar embeds unchanged: the
+// event's fault carries the same At as the event.
+func TestParseFaultEvent(t *testing.T) {
+	in := `scenario f
+seed 1
+horizon 1h
+fleet ws 8
+at 600s partition 3,4 for 120s
+`
+	s, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 1 {
+		t.Fatalf("got %d events", len(s.Events))
+	}
+	ev := s.Events[0]
+	if ev.Kind != EvFault || ev.Fault.Kind != faults.Partition {
+		t.Fatalf("wrong event: %+v", ev)
+	}
+	if ev.Fault.At != ev.At || ev.At != sim.Time(600*sim.Second) {
+		t.Fatalf("event/fault time mismatch: %v vs %v", ev.At, ev.Fault.At)
+	}
+	if ev.Fault.For != 120*sim.Second || len(ev.Fault.Set) != 2 {
+		t.Fatalf("fault args lost: %+v", ev.Fault)
+	}
+}
+
+// TestParseErrorsCarryLineNumbers pins the error positions a scenario
+// author sees.
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"bad directive", "scenario x\nbogus 1\n", "line 2: unknown directive"},
+		{"bad seed", "scenario x\nseed many\n", "line 2: bad seed"},
+		{"bad event", "scenario x\nseed 1\nat 5s explode 3\n", `line 3: unknown event "explode"`},
+		{"bad fault", "scenario x\nat 5s crash five\n", "line 2: crash: bad node"},
+		{"bad expect op", "scenario x\nexpect m.n ~= 3 at end\n", "line 2: unknown comparison"},
+		{"bad expect value", "scenario x\nexpect m.n == lots at end\n", `line 2: bad value "lots"`},
+		{"bad checkpoint", "scenario x\nexpect m.n == 3 at noon\n", `line 2: bad checkpoint "noon"`},
+		{"bad quantile", "scenario x\nexpect m.n pXX <= 3 at end\n", "line 2: bad quantile"},
+		{"bad fleet", "scenario x\nfleet carrier 3\n", `line 2: unknown fleet kind "carrier"`},
+		{"bad jobs option", "scenario x\nseed 1\nat 0s jobs 3 speed=9\n", `line 3: jobs: unknown option "speed"`},
+	}
+	for _, tc := range cases {
+		_, err := Parse(strings.NewReader(tc.in))
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q missing %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestValidateRejections pins the structural checks: events addressed
+// at fleets the scenario does not declare, checkpoints past the
+// horizon, sharded scenarios with scripts.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"no fleet", "scenario x\nseed 1\nhorizon 1h\n", "no fleet declared"},
+		{"no horizon", "scenario x\nseed 1\nfleet ws 4\n", "missing 'horizon"},
+		{"no name", "seed 1\nhorizon 1h\nfleet ws 4\n", "missing 'scenario"},
+		{"crash without ws", "scenario x\nhorizon 1h\nfleet xfs 4\nat 5s crash 2\n", "needs a 'fleet ws'"},
+		{"opmix without xfs", "scenario x\nhorizon 1h\nfleet ws 4\nat 5s opmix 10\n", "needs a 'fleet xfs'"},
+		{"diskfail without xfs", "scenario x\nhorizon 1h\nfleet ws 4\nat 5s diskfail 1\n", "needs a 'fleet xfs'"},
+		{"event past horizon", "scenario x\nhorizon 1h\nfleet ws 4\nat 2h crash 2\n", "past the horizon"},
+		{"expect past horizon", "scenario x\nhorizon 1h\nfleet ws 4\nexpect m == 0 at 2h\n", "past the horizon"},
+		{"jobs too wide", "scenario x\nhorizon 1h\nfleet ws 4\nat 0s jobs 1 nodes=9 work=60s\n", "exceeds the 4-workstation fleet"},
+		{"xfs too small", "scenario x\nhorizon 1h\nfleet xfs 4 spares=2\n", "fewer than 3 stripe members"},
+		{"shards without ws", "scenario x\nfleet shards 4\n", "needs 'fleet ws"},
+		{"shards with xfs", "scenario x\nfleet ws 8\nfleet xfs 4\nfleet shards 4\n", "cannot combine"},
+		{"shards with events", "scenario x\nfleet ws 8\nfleet shards 4\nat 0s crash 2\n", "no events"},
+		{"shards timed expect", "scenario x\nfleet ws 8\nfleet shards 4\nexpect m == 0 at 5s\n", "'at end' checkpoints only"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(strings.NewReader(tc.in))
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q missing %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestExpectValueForms checks both value syntaxes: a bare integer and a
+// Go duration (stored in ns, printed back as written).
+func TestExpectValueForms(t *testing.T) {
+	in := `scenario v
+seed 1
+fleet ws 8
+fleet shards 2
+expect a.count == 120 at end
+expect a.latency p99 <= 120ms at end
+`
+	s, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Expects[0].Value != 120 || s.Expects[0].IsDur {
+		t.Fatalf("bare integer misparsed: %+v", s.Expects[0])
+	}
+	if s.Expects[1].Value != int64(120*sim.Millisecond) || !s.Expects[1].IsDur {
+		t.Fatalf("duration misparsed: %+v", s.Expects[1])
+	}
+	if s.Expects[1].Quantile != 99 {
+		t.Fatalf("quantile misparsed: %+v", s.Expects[1])
+	}
+	if got := s.String(); !strings.Contains(got, "== 120 at end") || !strings.Contains(got, "<= 120ms at end") {
+		t.Fatalf("value forms do not round-trip:\n%s", got)
+	}
+}
+
+// TestCmpOps pins every operator's semantics.
+func TestCmpOps(t *testing.T) {
+	cases := []struct {
+		op         CmpOp
+		got, want  int64
+		wantResult bool
+	}{
+		{OpEQ, 3, 3, true}, {OpEQ, 3, 4, false},
+		{OpNE, 3, 4, true}, {OpNE, 3, 3, false},
+		{OpLE, 3, 3, true}, {OpLE, 4, 3, false},
+		{OpGE, 3, 3, true}, {OpGE, 2, 3, false},
+		{OpLT, 2, 3, true}, {OpLT, 3, 3, false},
+		{OpGT, 4, 3, true}, {OpGT, 3, 3, false},
+	}
+	for _, tc := range cases {
+		if tc.op.Eval(tc.got, tc.want) != tc.wantResult {
+			t.Fatalf("%d %s %d != %v", tc.got, tc.op, tc.want, tc.wantResult)
+		}
+	}
+}

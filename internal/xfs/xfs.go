@@ -272,6 +272,11 @@ func (sys *System) Stats() Stats { return sys.stats }
 // Nodes returns the number of participating workstations.
 func (sys *System) Nodes() int { return sys.cfg.Nodes }
 
+// Fabric exposes the system's network. Standalone installations (no
+// GLUnix cluster sharing the registry) instrument it for net.* metrics;
+// the scenario runner also reads its Stats for run reports.
+func (sys *System) Fabric() *netsim.Fabric { return sys.fab }
+
 // Managers returns the size of the manager set.
 func (sys *System) Managers() int { return len(sys.managers) }
 

@@ -40,6 +40,7 @@ import (
 	"github.com/nowproject/now/internal/obs"
 	"github.com/nowproject/now/internal/proto/am"
 	"github.com/nowproject/now/internal/proto/collective"
+	"github.com/nowproject/now/internal/scenario"
 	"github.com/nowproject/now/internal/sim"
 	"github.com/nowproject/now/internal/swraid"
 	"github.com/nowproject/now/internal/trace"
@@ -341,6 +342,29 @@ var (
 	GenerateFaultPlan   = faults.Generate
 	NewXFSFaultTarget   = faults.NewXFSTarget
 	CombineFaultTargets = faults.Combine
+)
+
+// ---- declarative scenarios ----
+
+// Scenario aliases: a Scenario is one parsed .scn file (fleet + event
+// script + assertions — docs/SCENARIOS.md); ScenarioResult is one run's
+// checks, summaries and metrics registry; ScenarioOptions holds
+// execution-only knobs (never part of a deterministic output).
+type (
+	Scenario        = scenario.Scenario
+	ScenarioResult  = scenario.Result
+	ScenarioCheck   = scenario.Check
+	ScenarioOptions = scenario.Options
+)
+
+// Scenario constructors. ParseScenario reads the DSL from a reader;
+// ParseScenarioFile also anchors fault-plan references to the file's
+// directory; RunScenario executes one and evaluates its assertions
+// (assertion failures are data — ScenarioResult.Ok — not errors).
+var (
+	ParseScenario     = scenario.Parse
+	ParseScenarioFile = scenario.ParseFile
+	RunScenario       = scenario.Run
 )
 
 // ---- observability ----

@@ -39,4 +39,15 @@ echo "== cross-shard golden determinism (nowsim -shards 1/2/4/8 byte-identical)"
 go test -count=1 -run 'TestShardedRunGoldenDeterminism' ./cmd/nowsim/ >/dev/null
 go test -count=1 -run 'TestShardedTrafficDeterministicAcrossWorkers' ./internal/experiments/ >/dev/null
 go test -count=1 -run 'TestShardedDeterminismAcrossWorkers|TestShardedStopMidDrain' ./internal/sim/ >/dev/null
+echo "== scenario gate (parse every .scn, run shipped stories, diff golden reports)"
+go run ./cmd/nowsim check examples/scenarios/*.scn >/dev/null
+for scn in examples/scenarios/*.scn; do
+  golden="${scn%.scn}.report.golden"
+  [ -f "$golden" ] || { echo "missing golden report for $scn" >&2; exit 1; }
+  # nowsim run exits 2 on any failed/unknown assertion; -e fails the gate.
+  go run ./cmd/nowsim run "$scn" | diff -u "$golden" - \
+    || { echo "scenario report drifted from $golden" >&2; exit 1; }
+done
+go test -count=1 -run 'TestScenarioRunGoldenDeterminism|TestScenarioShardedWorkerInvariance' ./cmd/nowsim/ >/dev/null
+go test -count=1 -run 'TestParsePrintIdentity|TestRunDeterminism' ./internal/scenario/ >/dev/null
 echo "verify: all checks passed"
