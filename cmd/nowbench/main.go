@@ -133,6 +133,15 @@ func run(args []string) error {
 			r, _, err := experiments.FaultStudy(cfg)
 			return r, err
 		}},
+		{"AV2", func() (experiments.Report, error) {
+			cfg := experiments.DefaultRemediationStudyConfig()
+			if *quick {
+				cfg.Workstations = 8
+				cfg.ReadStreams = 2
+			}
+			r, _, err := experiments.RemediationStudy(cfg)
+			return r, err
+		}},
 		{"SC1", func() (experiments.Report, error) {
 			cfg := experiments.DefaultScaleConfig()
 			if *quick {

@@ -130,6 +130,51 @@ func TestSeqScanGoldenDeterminism(t *testing.T) {
 	}
 }
 
+// TestRemediationGoldenDeterminism is the AV2 golden: the self-healing
+// availability study, run twice through the full CLI path with metrics
+// export, must produce byte-identical report JSON and metrics files —
+// the remediator's sweep, cordons and spare rebuilds included.
+func TestRemediationGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AV2 runs minutes of virtual workload, twice")
+	}
+	dir := t.TempDir()
+	runOnce := func(n string) ([]byte, []byte) {
+		mpath := filepath.Join(dir, "av"+n+".json")
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		runErr := run([]string{"-json", "-quick", "-only", "AV2", "-metrics", mpath})
+		w.Close()
+		os.Stdout = old
+		raw, _ := io.ReadAll(r)
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		mb, err := os.ReadFile(mpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, mb
+	}
+	r1, m1 := runOnce("1")
+	r2, m2 := runOnce("2")
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("AV2 report JSON is not byte-deterministic")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("AV2 metrics export is not byte-deterministic")
+	}
+	for _, want := range []string{`"remediate.rebuilds"`, `"remediate.cordons"`, `"cp.commands"`, `"faults.injected"`} {
+		if !bytes.Contains(m1, []byte(want)) {
+			t.Fatalf("AV2 metrics missing %s:\n%.300s", want, m1)
+		}
+	}
+}
+
 func TestRunUnknownFlag(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("unknown flag accepted")

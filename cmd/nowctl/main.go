@@ -1,0 +1,222 @@
+// Command nowctl is the operator CLI for a served NOW (`nowsim serve`).
+// It speaks the control plane's HTTP/JSON API (docs/CONTROLPLANE.md):
+//
+//	nowctl status                        cluster summary
+//	nowctl nodes                         workstation census
+//	nowctl node 5                        one workstation
+//	nowctl cordon 5 | uncordon 5         (un)mark unschedulable
+//	nowctl drain 5                       evacuate a workstation
+//	nowctl storage                       xFS node census
+//	nowctl drain-storage 3               remove an xFS node gracefully
+//	nowctl fault "crash 5 for 30s"       inject a faults-plan line live
+//	nowctl metrics                       stream the obs metrics (JSON)
+//	nowctl spans [-after N]              spans started after span id N
+//	nowctl remediate on|off              toggle self-healing
+//
+// The server address defaults to http://127.0.0.1:8080 and is set with
+// -addr (flags come before the command).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/nowproject/now/internal/controlplane"
+	"github.com/nowproject/now/internal/obs"
+	"github.com/nowproject/now/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nowctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nowctl", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "control-plane server address")
+	after := fs.Int("after", 0, "spans: only those started after this span id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: nowctl [-addr URL] <status|nodes|node|cordon|uncordon|drain|storage|drain-storage|fault|metrics|spans|remediate> [args]")
+	}
+	c := &controlplane.Client{Base: *addr}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+
+	argID := func() (int, error) {
+		if len(rest) != 1 {
+			return 0, fmt.Errorf("%s takes exactly one node id", cmd)
+		}
+		return strconv.Atoi(rest[0])
+	}
+
+	switch cmd {
+	case "status":
+		st, err := c.Status()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("virtual time %s\n", sim.Time(st.VirtualNs))
+		fmt.Printf("workstations: %d (%d up, %d cordoned, %d drained), queue %d\n",
+			st.Workstations, st.Up, st.Cordoned, st.Drained, st.QueueLen)
+		if st.XFSNodes > 0 {
+			fmt.Printf("xfs: %d nodes, failed stores %v, %d spares left\n",
+				st.XFSNodes, st.FailedStores, st.SparesLeft)
+		}
+		return nil
+	case "nodes":
+		ns, err := c.Nodes()
+		if err != nil {
+			return err
+		}
+		for _, n := range ns {
+			printNode(n)
+		}
+		return nil
+	case "node":
+		id, err := argID()
+		if err != nil {
+			return err
+		}
+		n, err := c.Node(id)
+		if err != nil {
+			return err
+		}
+		printNode(n)
+		return nil
+	case "cordon":
+		id, err := argID()
+		if err != nil {
+			return err
+		}
+		if err := c.Cordon(id); err != nil {
+			return err
+		}
+		fmt.Printf("workstation %d cordoned\n", id)
+		return nil
+	case "uncordon":
+		id, err := argID()
+		if err != nil {
+			return err
+		}
+		if err := c.Uncordon(id); err != nil {
+			return err
+		}
+		fmt.Printf("workstation %d uncordoned\n", id)
+		return nil
+	case "drain":
+		id, err := argID()
+		if err != nil {
+			return err
+		}
+		if err := c.Drain(id); err != nil {
+			return err
+		}
+		fmt.Printf("workstation %d draining (poll `nowctl node %d`)\n", id, id)
+		return nil
+	case "storage":
+		sts, err := c.Storage()
+		if err != nil {
+			return err
+		}
+		for _, s := range sts {
+			state := "up"
+			switch {
+			case s.Down:
+				state = "down"
+			case s.Failed:
+				state = "failed"
+			}
+			role := ""
+			if s.Stripe {
+				role += " stripe"
+			}
+			if s.Spare {
+				role += " spare"
+			}
+			if len(s.Managers) > 0 {
+				role += fmt.Sprintf(" managers=%v", s.Managers)
+			}
+			fmt.Printf("xfs %-3d %-6s%s\n", s.Node, state, role)
+		}
+		return nil
+	case "drain-storage":
+		id, err := argID()
+		if err != nil {
+			return err
+		}
+		if err := c.DrainStorage(id); err != nil {
+			return err
+		}
+		fmt.Printf("xfs node %d draining (poll `nowctl storage`)\n", id)
+		return nil
+	case "fault":
+		if len(rest) != 1 {
+			return fmt.Errorf("fault takes one quoted plan line, e.g. nowctl fault \"crash 5 for 30s\"")
+		}
+		if err := c.InjectFault(rest[0]); err != nil {
+			return err
+		}
+		fmt.Println("fault scheduled")
+		return nil
+	case "metrics":
+		data, err := c.MetricsJSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data) //nolint:errcheck
+		return nil
+	case "spans":
+		spans, err := c.Spans(obs.SpanID(*after))
+		if err != nil {
+			return err
+		}
+		for _, sp := range spans {
+			end := "open"
+			if sp.End != 0 {
+				end = sim.Duration(sp.End - sp.Start).String()
+			}
+			fmt.Printf("span %-5d %-24s node %-4d start %-12s %s\n",
+				sp.ID, sp.Name, sp.Node, sim.Time(sp.Start), end)
+		}
+		return nil
+	case "remediate":
+		if len(rest) != 1 || (rest[0] != "on" && rest[0] != "off") {
+			return fmt.Errorf("usage: nowctl remediate on|off")
+		}
+		if err := c.Remediate(rest[0] == "on"); err != nil {
+			return err
+		}
+		fmt.Printf("remediation %s\n", rest[0])
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func printNode(n controlplane.NodeStatus) {
+	state := "up"
+	if !n.Up {
+		state = "down"
+	}
+	flags := ""
+	if n.Cordoned {
+		flags += " cordoned"
+	}
+	if n.Drained {
+		flags += " drained"
+	}
+	if n.UserBusy {
+		flags += " user-busy"
+	}
+	job := "idle"
+	if n.JobID >= 0 {
+		job = fmt.Sprintf("job %d rank %d", n.JobID, n.Rank)
+	}
+	fmt.Printf("ws %-3d %-5s %-18s%s\n", n.ID, state, job, flags)
+}

@@ -83,6 +83,8 @@ func run(args []string) error {
 			return runScenario(args[1:])
 		case "check":
 			return checkScenarios(args[1:])
+		case "serve":
+			return serveCluster(args[1:])
 		}
 	}
 	fs := flag.NewFlagSet("nowsim", flag.ContinueOnError)
@@ -264,18 +266,28 @@ func runScenario(args []string) error {
 }
 
 // checkScenarios parses and validates scenario files without running
-// them — the cheap CI gate over examples/scenarios/.
+// them — the cheap CI gate over examples/scenarios/. Every problem in
+// every file is reported (with its source line) before the nonzero
+// exit, so one check run surfaces everything wrong at once.
 func checkScenarios(paths []string) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("usage: nowsim check <file.scn...>")
 	}
+	bad := 0
 	for _, path := range paths {
-		s, err := now.ParseScenarioFile(path)
-		if err != nil {
-			return err
+		s, probs := now.ParseScenarioFileAll(path)
+		if len(probs) > 0 {
+			bad++
+			for _, p := range probs {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, p.Err)
+			}
+			continue
 		}
 		fmt.Printf("%s: ok (%s: %d events, %d expects)\n",
 			path, s.Name, len(s.Events), len(s.Expects))
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d scenario file(s) have problems", bad, len(paths))
 	}
 	return nil
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	now "github.com/nowproject/now"
+)
+
+// serveCluster runs the long-lived server mode: build a NOW, map its
+// virtual clock onto the wall clock, and expose the operator API over
+// HTTP until interrupted. See docs/CONTROLPLANE.md.
+//
+//	nowsim serve -ws 32 -xfs 10 -spares 2 -addr :8080 -rate 10
+//	nowsim serve -ws 16 -rate 0          # free-running, max speed
+//	nowsim serve -ws 32 -remediate      # self-healing armed from t=0
+func serveCluster(args []string) error {
+	fs := flag.NewFlagSet("nowsim serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	ws := fs.Int("ws", 32, "workstations in the NOW")
+	xfsNodes := fs.Int("xfs", 10, "xFS storage nodes (0 = no storage fleet)")
+	spares := fs.Int("spares", 2, "xFS hot spares")
+	managers := fs.Int("managers", 2, "xFS metadata managers")
+	seed := fs.Int64("seed", 1, "random seed")
+	rate := fs.Float64("rate", 10, "virtual-to-wall speedup (0 = free-running)")
+	jobEvery := fs.Duration("job-every", 45*1e9, "background job interarrival (0 = idle cluster)")
+	remediate := fs.Bool("remediate", false, "arm self-healing remediation from the start")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	stack, err := now.NewControlPlaneStack(now.ControlPlaneStackConfig{
+		Seed:         *seed,
+		Workstations: *ws,
+		XFSNodes:     *xfsNodes,
+		Spares:       *spares,
+		Managers:     *managers,
+		JobEvery:     now.Duration(jobEvery.Nanoseconds()),
+		RemediateOn:  *remediate,
+	})
+	if err != nil {
+		return err
+	}
+	defer stack.Engine.Close()
+
+	srv := now.NewControlPlaneServer(stack.CP, stack.Remediator,
+		now.ControlPlaneServerConfig{Rate: *rate})
+	srv.Start()
+	defer srv.Stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // reported via the blocked signal wait
+
+	fmt.Printf("NOW serving: %d workstations", *ws)
+	if *xfsNodes > 0 {
+		fmt.Printf(", xfs %d nodes (%d spares, %d managers)", *xfsNodes, *spares, *managers)
+	}
+	if *rate > 0 {
+		fmt.Printf(", %gx wall clock", *rate)
+	} else {
+		fmt.Printf(", free-running")
+	}
+	fmt.Printf("\noperator API at http://%s/v1/ — try: nowctl -addr http://%s status\n",
+		ln.Addr(), ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down")
+	hs.Close()
+	return srv.Err()
+}

@@ -1,0 +1,44 @@
+package controlplane
+
+import (
+	"io"
+	"testing"
+
+	"github.com/nowproject/now/internal/sim"
+)
+
+// BenchmarkSnapshotStream measures the observation overhead an operator
+// poll imposes on a live stack: one `nowctl status` + metrics export +
+// incremental span fetch cycle against a cluster that has been running
+// long enough to populate its registry. This is the cost the serve
+// loop's Do() closure pays on the drive goroutine per poll — it bounds
+// how hard a dashboard can poll before it starts stealing simulation
+// throughput.
+func BenchmarkSnapshotStream(b *testing.B) {
+	st, err := NewStack(StackConfig{
+		Seed:         1,
+		Workstations: 16,
+		XFSNodes:     8,
+		Spares:       2,
+		Managers:     2,
+		JobEvery:     30 * sim.Second,
+		JobNodes:     3,
+		JobWork:      40 * sim.Second,
+	})
+	if err != nil {
+		b.Fatalf("NewStack: %v", err)
+	}
+	defer st.Engine.Close()
+	if err := st.Engine.RunUntil(sim.Time(10 * sim.Minute)); err != nil {
+		b.Fatalf("RunUntil: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.CP.Status()
+		_ = st.CP.Snapshot()
+		_ = st.CP.SpansSince(0)
+		if err := st.Registry.WriteMetricsJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

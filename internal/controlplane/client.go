@@ -1,0 +1,153 @@
+package controlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/nowproject/now/internal/obs"
+)
+
+// Client is the typed HTTP client for the operator API — what nowctl
+// speaks, and what the end-to-end tests drive.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) hc() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// call performs one request and decodes the JSON response into out
+// (skipped when out is nil). Non-2xx responses decode the server's
+// {"error": ...} envelope into the returned error.
+func (c *Client) call(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, strings.TrimRight(c.Base, "/")+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s", method, path, e.Error)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Status fetches the cluster summary.
+func (c *Client) Status() (ClusterStatus, error) {
+	var st ClusterStatus
+	err := c.call("GET", "/v1/status", nil, &st)
+	return st, err
+}
+
+// Nodes fetches the workstation census.
+func (c *Client) Nodes() ([]NodeStatus, error) {
+	var ns []NodeStatus
+	err := c.call("GET", "/v1/nodes", nil, &ns)
+	return ns, err
+}
+
+// Node fetches one workstation.
+func (c *Client) Node(id int) (NodeStatus, error) {
+	var st NodeStatus
+	err := c.call("GET", fmt.Sprintf("/v1/nodes/%d", id), nil, &st)
+	return st, err
+}
+
+// Cordon marks workstation id unschedulable.
+func (c *Client) Cordon(id int) error {
+	return c.call("POST", fmt.Sprintf("/v1/nodes/%d/cordon", id), nil, nil)
+}
+
+// Uncordon clears a cordon or completed drain on workstation id.
+func (c *Client) Uncordon(id int) error {
+	return c.call("POST", fmt.Sprintf("/v1/nodes/%d/uncordon", id), nil, nil)
+}
+
+// Drain starts evacuating workstation id; poll Node(id).Drained.
+func (c *Client) Drain(id int) error {
+	return c.call("POST", fmt.Sprintf("/v1/nodes/%d/drain", id), nil, nil)
+}
+
+// Storage fetches the xFS node census.
+func (c *Client) Storage() ([]StoreStatus, error) {
+	var st []StoreStatus
+	err := c.call("GET", "/v1/storage", nil, &st)
+	return st, err
+}
+
+// DrainStorage starts removing xFS node id; poll Storage.
+func (c *Client) DrainStorage(id int) error {
+	return c.call("POST", fmt.Sprintf("/v1/storage/%d/drain", id), nil, nil)
+}
+
+// InjectFault schedules one faults-plan line live ("crash 5 for 30s").
+func (c *Client) InjectFault(line string) error {
+	return c.call("POST", "/v1/faults", map[string]string{"line": line}, nil)
+}
+
+// MetricsJSON fetches the raw stable-JSON metrics document.
+func (c *Client) MetricsJSON() ([]byte, error) {
+	req, err := http.NewRequest("GET", strings.TrimRight(c.Base, "/")+"/v1/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("GET /v1/metrics: HTTP %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Spans fetches spans started after span id `after` (0 = all).
+func (c *Client) Spans(after obs.SpanID) ([]obs.Span, error) {
+	var spans []obs.Span
+	err := c.call("GET", fmt.Sprintf("/v1/spans?after=%d", after), nil, &spans)
+	return spans, err
+}
+
+// Remediate toggles the self-healing loop.
+func (c *Client) Remediate(on bool) error {
+	return c.call("POST", "/v1/remediate", map[string]bool{"enabled": on}, nil)
+}

@@ -1,0 +1,113 @@
+package controlplane
+
+import (
+	"fmt"
+
+	"github.com/nowproject/now/internal/glunix"
+	"github.com/nowproject/now/internal/obs"
+	"github.com/nowproject/now/internal/sim"
+	"github.com/nowproject/now/internal/xfs"
+)
+
+// StackConfig shapes a servable NOW: a glunix workstation cluster, an
+// optional xFS installation, the control plane over both, and a
+// (disabled-until-told) remediator. `nowsim serve` builds one of these;
+// so do the end-to-end tests.
+type StackConfig struct {
+	Seed         int64
+	Workstations int
+	// XFSNodes > 0 adds a storage fleet with Spares hot spares and
+	// Managers metadata managers.
+	XFSNodes int
+	Spares   int
+	Managers int
+	// JobEvery > 0 trickles background parallel jobs into the cluster
+	// (JobNodes wide, JobWork each) so a served simulation has pulse.
+	JobEvery sim.Duration
+	JobNodes int
+	JobWork  sim.Duration
+	// Policy tunes the remediator; zero value = defaults.
+	Policy RemediationPolicy
+	// RemediateOn arms self-healing from t=0.
+	RemediateOn bool
+}
+
+// Stack is one built, ready-to-drive NOW with its operator surface.
+// Close the Engine when done.
+type Stack struct {
+	Engine     *sim.Engine
+	Registry   *obs.Registry
+	Cluster    *glunix.Cluster
+	XFS        *xfs.System
+	CP         *ControlPlane
+	Remediator *Remediator
+}
+
+// NewStack builds the full stack on a fresh engine. Nothing has run
+// yet: drive with Engine.RunUntil directly (tests) or wrap in a Server
+// (`nowsim serve`).
+func NewStack(cfg StackConfig) (*Stack, error) {
+	if cfg.Workstations < 2 {
+		return nil, fmt.Errorf("controlplane: need ≥2 workstations, have %d", cfg.Workstations)
+	}
+	e := sim.NewEngine(cfg.Seed)
+	reg := obs.NewRegistry()
+	e.Observe(reg)
+
+	var sys *xfs.System
+	if cfg.XFSNodes > 0 {
+		xcfg := xfs.DefaultConfig(cfg.XFSNodes)
+		xcfg.SpareNodes = cfg.Spares
+		if cfg.Managers > 0 {
+			xcfg.Managers = cfg.Managers
+		}
+		var err error
+		sys, err = xfs.New(e, xcfg)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		sys.Instrument(reg)
+	}
+
+	gcfg := glunix.DefaultConfig(cfg.Workstations)
+	gcfg.Seed = cfg.Seed
+	gcfg.Obs = reg
+	c, err := glunix.New(e, gcfg)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+
+	cp, err := New(Config{
+		Engine:   e,
+		Cluster:  c,
+		XFS:      sys,
+		Registry: reg,
+	})
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	rem := NewRemediator(cp, cfg.Policy)
+	rem.Start()
+	rem.SetEnabled(cfg.RemediateOn)
+
+	if cfg.JobEvery > 0 {
+		nodes, work := cfg.JobNodes, cfg.JobWork
+		if nodes <= 0 {
+			nodes = 2
+		}
+		if work <= 0 {
+			work = 20 * sim.Second
+		}
+		e.Spawn("controlplane/job-trickle", func(p *sim.Proc) {
+			for id := 0; ; id++ {
+				c.Master.Submit(glunix.NewJob(id, nodes, work, 0))
+				p.Sleep(cfg.JobEvery)
+			}
+		})
+	}
+
+	return &Stack{Engine: e, Registry: reg, Cluster: c, XFS: sys, CP: cp, Remediator: rem}, nil
+}

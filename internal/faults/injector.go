@@ -78,6 +78,17 @@ func (in *Injector) Schedule() {
 	}
 }
 
+// Inject schedules one additional fault outside the plan — the live
+// seam a control plane uses. A fault stamped in the past (or with a
+// zero At, the natural value for "now") is applied at the current
+// virtual time; one in the future is scheduled like a plan line.
+func (in *Injector) Inject(f Fault) {
+	if now := in.eng.Now(); f.At < now {
+		f.At = now
+	}
+	in.eng.At(f.At, func() { in.apply(f) })
+}
+
 // account records the outcome of one injection attempt and manages the
 // span: handled instantaneous faults close their span immediately,
 // windowed ones keep it open for the undo to close. The bool result —

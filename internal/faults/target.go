@@ -129,6 +129,11 @@ func NewXFSTarget(s *xfs.System) *XFSTarget {
 	return &XFSTarget{S: s, spares: s.SpareNodeIDs()}
 }
 
+// Spares returns the unconsumed hot-spare pool in consumption order.
+// A control plane shares this target with its injector so that live
+// rebuilds and plan rebuilds draw from one pool.
+func (t *XFSTarget) Spares() []int { return t.spares }
+
 func (t *XFSTarget) FailDisk(n int) bool {
 	if n < 0 || n >= t.S.Nodes() {
 		return false

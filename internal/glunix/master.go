@@ -21,6 +21,10 @@ type wsState struct {
 	// drained marks a machine removed from service for a hot-swap
 	// upgrade: never recruited, existing guest migrated away.
 	drained bool
+	// cordoned marks a machine unschedulable by operator request: no
+	// new guest is placed on it, but an existing guest stays (the
+	// non-disruptive half of a drain).
+	cordoned bool
 	// evictions records when this machine's user was delayed by a
 	// departing guest, for the per-day delay limit.
 	evictions []sim.Time
@@ -114,7 +118,7 @@ func (m *Master) available() []int {
 	now := m.c.Eng.Now()
 	for i := 1; i < len(m.ws); i++ {
 		s := &m.ws[i]
-		if !s.up || s.userBusy || s.guest != nil || s.drained {
+		if !s.up || s.userBusy || s.guest != nil || s.drained || s.cordoned {
 			continue
 		}
 		if limit := m.c.Cfg.MaxEvictionsPerUserDay; limit > 0 {
@@ -449,6 +453,11 @@ func (m *Master) Drain(p *sim.Proc, ws int) {
 		return
 	}
 	s := &m.ws[ws]
+	if s.drained {
+		// Already drained: the guest (if any) left or is queued for a
+		// target. Draining again must not re-pause or re-migrate.
+		return
+	}
 	s.drained = true
 	if g := s.guest; g != nil {
 		s.guest = nil
@@ -472,6 +481,92 @@ func (m *Master) Reattach(ws int) {
 	m.ws[ws].drained = false
 	m.ws[ws].lastHB = m.c.Eng.Now()
 	m.work.Broadcast()
+}
+
+// Cordon marks a workstation unschedulable without disturbing its
+// current guest: the gentle half of a drain, and the guard an operator
+// places before maintenance. Reports whether the state changed.
+func (m *Master) Cordon(ws int) bool {
+	if ws <= 0 || ws >= len(m.ws) || m.ws[ws].cordoned {
+		return false
+	}
+	m.ws[ws].cordoned = true
+	return true
+}
+
+// Uncordon returns a cordoned or drained workstation to the schedulable
+// pool and kicks placement, so queued jobs can claim it immediately.
+// Reports whether the state changed.
+func (m *Master) Uncordon(ws int) bool {
+	if ws <= 0 || ws >= len(m.ws) {
+		return false
+	}
+	s := &m.ws[ws]
+	if !s.cordoned && !s.drained {
+		return false
+	}
+	s.cordoned, s.drained = false, false
+	m.work.Broadcast()
+	return true
+}
+
+// Cordoned reports whether ws is cordoned.
+func (m *Master) Cordoned(ws int) bool {
+	return ws > 0 && ws < len(m.ws) && m.ws[ws].cordoned
+}
+
+// Drained reports whether ws is drained.
+func (m *Master) Drained(ws int) bool {
+	return ws > 0 && ws < len(m.ws) && m.ws[ws].drained
+}
+
+// QueueLen reports how many jobs are waiting for placement.
+func (m *Master) QueueLen() int { return len(m.queue) }
+
+// WSStatus is the master's public view of one workstation — the census
+// row the control plane lists and describes.
+type WSStatus struct {
+	ID       int  `json:"id"`
+	Up       bool `json:"up"`
+	UserBusy bool `json:"userBusy"`
+	Cordoned bool `json:"cordoned"`
+	Drained  bool `json:"drained"`
+	// JobID and Rank identify the guest process (-1/-1 when idle).
+	JobID int `json:"jobId"`
+	Rank  int `json:"rank"`
+	// LastHeartbeat is the virtual time of the last heartbeat received.
+	LastHeartbeat sim.Time `json:"lastHeartbeatNs"`
+}
+
+// Census snapshots the master's view of every workstation, in id order.
+func (m *Master) Census() []WSStatus {
+	out := make([]WSStatus, 0, len(m.ws)-1)
+	for i := 1; i < len(m.ws); i++ {
+		out = append(out, m.wsStatus(i))
+	}
+	return out
+}
+
+// WSInfo returns the census row for one workstation (ok=false when the
+// id is out of range).
+func (m *Master) WSInfo(ws int) (WSStatus, bool) {
+	if ws <= 0 || ws >= len(m.ws) {
+		return WSStatus{}, false
+	}
+	return m.wsStatus(ws), true
+}
+
+func (m *Master) wsStatus(ws int) WSStatus {
+	s := &m.ws[ws]
+	st := WSStatus{
+		ID: ws, Up: s.up, UserBusy: s.userBusy,
+		Cordoned: s.cordoned, Drained: s.drained,
+		JobID: -1, Rank: -1, LastHeartbeat: s.lastHB,
+	}
+	if g := s.guest; g != nil {
+		st.JobID, st.Rank = g.job.ID, g.rank
+	}
+	return st
 }
 
 // debugString summarises master state for failed-test diagnostics.

@@ -85,3 +85,16 @@ func (r *Registry) Spans() []Span {
 	}
 	return r.spans
 }
+
+// SpansSince returns the spans started after the span with id after
+// (0 for all) — the incremental form a streaming consumer polls with
+// the last id it has seen. The slice aliases registry storage.
+func (r *Registry) SpansSince(after SpanID) []Span {
+	if r == nil || int(after) >= len(r.spans) {
+		return nil
+	}
+	if after < 0 {
+		after = 0
+	}
+	return r.spans[after:]
+}

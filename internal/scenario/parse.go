@@ -29,7 +29,12 @@ import (
 //	at <t> load <factor>
 //	at <t> flashcrowd <users> [for <dur>]
 //	at <t> diurnal [days=<n>]
+//	at <t> cordon <ws>                       # control plane: unschedulable
+//	at <t> uncordon <ws>
+//	at <t> drain <ws>                        # cordon + migrate guest away
+//	at <t> remediate on|off                  # self-healing loop switch
 //	expect <metric> [p<q>] <op> <value> at <time|end>
+//	expect span <name> count|p<q> <op> <value> at <time|end>
 //
 // Times and durations use Go syntax ("90s", "2h"); <op> is one of ==,
 // !=, <=, >=, <, >. Scenario.String emits this grammar, so scenario
@@ -50,6 +55,52 @@ func ParseFile(path string) (*Scenario, error) {
 	}
 	s.Dir = filepath.Dir(path)
 	return s, nil
+}
+
+// ParseFileAll reads a scenario file and collects EVERY parse and
+// validation problem instead of stopping at the first — the `nowsim
+// check` form. The returned scenario is whatever could be salvaged;
+// it is runnable only when the problem list is empty.
+func ParseFileAll(path string) (*Scenario, []Problem) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, []Problem{{Err: fmt.Errorf("scenario: %w", err)}}
+	}
+	defer f.Close()
+	s, probs := ParseAll(f)
+	s.Dir = filepath.Dir(path)
+	return s, probs
+}
+
+// ParseAll reads a scenario and collects every parse and validation
+// problem, each anchored to its 1-based source line (0 for scenario-
+// wide problems like a missing fleet). Unlike Parse it keeps going
+// past bad lines, so one check run reports everything wrong at once.
+func ParseAll(r io.Reader) (*Scenario, []Problem) {
+	s := &Scenario{}
+	var probs []Problem
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := s.parseLine(fields, lineNo); err != nil {
+			probs = append(probs, Problem{Line: lineNo, Err: fmt.Errorf("line %d: %w", lineNo, err)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		probs = append(probs, Problem{Err: err})
+	}
+	s.normalize()
+	probs = append(probs, s.Problems()...)
+	return s, probs
 }
 
 // Parse reads a scenario in file syntax and validates it. Errors carry
@@ -368,6 +419,27 @@ func parseEvent(fields []string) (Event, error) {
 			}
 		}
 		ev.Kind = EvDiurnal
+	case "cordon", "uncordon", "drain":
+		if len(args) != 1 {
+			return Event{}, fmt.Errorf("%s wants one workstation id", kind)
+		}
+		ev.Node, err = strconv.Atoi(args[0])
+		if err != nil {
+			return Event{}, fmt.Errorf("%s: bad workstation %q", kind, args[0])
+		}
+		switch kind {
+		case "cordon":
+			ev.Kind = EvCordon
+		case "uncordon":
+			ev.Kind = EvUncordon
+		case "drain":
+			ev.Kind = EvDrain
+		}
+	case "remediate":
+		if len(args) != 1 || (args[0] != "on" && args[0] != "off") {
+			return Event{}, fmt.Errorf("remediate wants 'on' or 'off'")
+		}
+		ev.Kind, ev.On = EvRemediate, args[0] == "on"
 	default:
 		return Event{}, fmt.Errorf("unknown event %q", kind)
 	}
@@ -375,12 +447,33 @@ func parseEvent(fields []string) (Event, error) {
 }
 
 // parseExpect reads one assertion ("expect" already stripped):
-// <metric> [p<q>] <op> <value> at <time|end>.
+// <metric> [p<q>] <op> <value> at <time|end>, or the span-trace form
+// span <name> count|p<q> <op> <value> at <time|end>.
 func parseExpect(args []string) (Expect, error) {
+	var ex Expect
+	if len(args) > 0 && args[0] == "span" {
+		if len(args) < 6 {
+			return Expect{}, fmt.Errorf("expect span wants '<name> count|p<q> <op> <value> at <time|end>'")
+		}
+		ex.Span, ex.Metric = true, args[1]
+		switch sel := args[2]; {
+		case sel == "count":
+			// Quantile stays 0: the count form.
+		case strings.HasPrefix(sel, "p"):
+			q, err := strconv.ParseFloat(sel[1:], 64)
+			if err != nil {
+				return Expect{}, fmt.Errorf("bad span quantile %q (want count, p50, p95, ...)", sel)
+			}
+			ex.Quantile = q
+		default:
+			return Expect{}, fmt.Errorf("expect span wants 'count' or a quantile, got %q", sel)
+		}
+		return finishExpect(ex, args[3:])
+	}
 	if len(args) < 5 {
 		return Expect{}, fmt.Errorf("expect wants '<metric> [p<q>] <op> <value> at <time|end>'")
 	}
-	ex := Expect{Metric: args[0]}
+	ex.Metric = args[0]
 	rest := args[1:]
 	if strings.HasPrefix(rest[0], "p") {
 		if _, err := ParseCmpOp(rest[0]); err != nil {
@@ -392,6 +485,12 @@ func parseExpect(args []string) (Expect, error) {
 			rest = rest[1:]
 		}
 	}
+	return finishExpect(ex, rest)
+}
+
+// finishExpect reads the shared assertion tail: <op> <value> at
+// <time|end>.
+func finishExpect(ex Expect, rest []string) (Expect, error) {
 	if len(rest) != 4 || rest[2] != "at" {
 		return Expect{}, fmt.Errorf("expect wants '<metric> [p<q>] <op> <value> at <time|end>'")
 	}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/nowproject/now/internal/controlplane"
 	"github.com/nowproject/now/internal/experiments"
 	"github.com/nowproject/now/internal/faults"
 	"github.com/nowproject/now/internal/glunix"
@@ -190,18 +191,36 @@ func runClassic(s *Scenario) (*Result, error) {
 		}
 	}
 
+	// Control verbs route through the control plane; it (and the
+	// remediator, for `remediate`) is built only when the script asks,
+	// so operator-free scenarios register no cp.* metrics.
+	hasControl, hasRemediate := false, false
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case EvCordon, EvUncordon, EvDrain:
+			hasControl = true
+		case EvRemediate:
+			hasControl, hasRemediate = true, true
+		}
+	}
+
 	var inj *faults.Injector
 	var cluster *glunix.Cluster
 	wire := func(c *glunix.Cluster) {
 		cluster = c
+		// One XFSTarget shared by the plan injector and the control
+		// plane, so live rebuilds and plan rebuilds draw the same spare
+		// pool.
+		var tgt *faults.XFSTarget
 		var tgts []faults.Target
 		if c != nil {
 			tgts = append(tgts, faults.ClusterTarget{C: c})
 		}
 		if sys != nil {
-			tgts = append(tgts, faults.NewXFSTarget(sys))
+			tgt = faults.NewXFSTarget(sys)
+			tgts = append(tgts, tgt)
 		}
-		if len(plan.Faults) > 0 {
+		if len(plan.Faults) > 0 || hasControl {
 			inj = faults.NewInjector(e, faults.Combine(tgts...), plan, reg)
 			inj.Schedule()
 		}
@@ -216,6 +235,39 @@ func runClassic(s *Scenario) (*Result, error) {
 			case EvDiurnal:
 				e.At(ev.At, func() { sm.events.Inc() })
 				scheduleDiurnal(s, e, c, ev, horizon)
+			}
+		}
+		if !hasControl {
+			return
+		}
+		cp, err := controlplane.New(controlplane.Config{
+			Engine:    e,
+			Cluster:   c,
+			XFS:       sys,
+			XFSTarget: tgt,
+			Injector:  inj,
+			Registry:  reg,
+		})
+		if err != nil {
+			e.Fail(err)
+			return
+		}
+		var rem *controlplane.Remediator
+		if hasRemediate {
+			rem = controlplane.NewRemediator(cp, controlplane.DefaultRemediationPolicy())
+			rem.Start() // disabled until a `remediate on` event flips it
+		}
+		for _, ev := range s.Events {
+			ev := ev
+			switch ev.Kind {
+			case EvCordon:
+				e.At(ev.At, func() { sm.events.Inc(); cp.Cordon(ev.Node) }) //nolint:errcheck // validated against the fleet
+			case EvUncordon:
+				e.At(ev.At, func() { sm.events.Inc(); cp.Uncordon(ev.Node) }) //nolint:errcheck
+			case EvDrain:
+				e.At(ev.At, func() { sm.events.Inc(); cp.DrainAsync(ev.Node) }) //nolint:errcheck
+			case EvRemediate:
+				e.At(ev.At, func() { sm.events.Inc(); rem.SetEnabled(ev.On) })
 			}
 		}
 	}
@@ -414,8 +466,9 @@ func scheduleChecks(s *Scenario, e *sim.Engine, reg *obs.Registry, sm *scenarioM
 			sm.checkpoints.Inc()
 			sp := reg.StartSpan("scenario.checkpoint", -1)
 			snap := snapshotMap(reg)
+			spans := reg.Spans()
 			for _, ex := range byTime[t] {
-				record(res, sm, evalExpect(snap, ex))
+				record(res, sm, evalExpect(snap, spans, ex))
 			}
 			reg.EndSpan(sp)
 		})
@@ -436,8 +489,9 @@ func evalEndChecks(s *Scenario, reg *obs.Registry, sm *scenarioMetrics, res *Res
 	}
 	sm.checkpoints.Inc()
 	snap := snapshotMap(reg)
+	spans := reg.Spans()
 	for _, ex := range end {
-		record(res, sm, evalExpect(snap, ex))
+		record(res, sm, evalExpect(snap, spans, ex))
 	}
 }
 
@@ -467,10 +521,14 @@ func snapshotMap(reg *obs.Registry) map[string]obs.Metric {
 	return m
 }
 
-// evalExpect evaluates one assertion against a snapshot. A quantile of
-// a metric that is not a populated histogram, or any assertion on a
+// evalExpect evaluates one assertion against a snapshot (and, for the
+// span form, the span trace as of the checkpoint). A quantile of a
+// metric that is not a populated histogram, or any assertion on a
 // metric the run never registered, is Unknown.
-func evalExpect(snap map[string]obs.Metric, ex Expect) Check {
+func evalExpect(snap map[string]obs.Metric, spans []obs.Span, ex Expect) Check {
+	if ex.Span {
+		return evalSpanExpect(spans, ex)
+	}
 	c := Check{Expect: ex}
 	m, ok := snap[ex.Metric]
 	if !ok {
@@ -493,6 +551,60 @@ func evalExpect(snap map[string]obs.Metric, ex Expect) Check {
 	}
 	c.Got = got
 	if ex.Op.Eval(got, ex.Value) {
+		c.Outcome = Pass
+	} else {
+		c.Outcome = Fail
+	}
+	return c
+}
+
+// evalSpanExpect evaluates one span-trace assertion. The count form is
+// always evaluable — a span that never started is a genuine count of
+// zero, so `expect span x count == 0` passes on a quiet run. The
+// quantile form ranks the closed spans' durations (ceil-rank, like the
+// histogram quantiles); no closed spans means Unknown, the same way an
+// empty histogram does.
+func evalSpanExpect(spans []obs.Span, ex Expect) Check {
+	c := Check{Expect: ex}
+	var count int64
+	var durs []int64
+	for _, sp := range spans {
+		if sp.Name != ex.Metric {
+			continue
+		}
+		count++
+		if sp.End > 0 {
+			durs = append(durs, int64(sp.End-sp.Start))
+		}
+	}
+	if ex.Quantile == 0 {
+		c.Got = count
+		if ex.Op.Eval(count, ex.Value) {
+			c.Outcome = Pass
+		} else {
+			c.Outcome = Fail
+		}
+		return c
+	}
+	if len(durs) == 0 {
+		c.Outcome = Unknown
+		if count == 0 {
+			c.Detail = "no spans with this name"
+		} else {
+			c.Detail = "no closed spans"
+		}
+		return c
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	rank := int(math.Ceil(ex.Quantile / 100 * float64(len(durs))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(durs) {
+		rank = len(durs)
+	}
+	c.Got = durs[rank-1]
+	if ex.Op.Eval(c.Got, ex.Value) {
 		c.Outcome = Pass
 	} else {
 		c.Outcome = Fail

@@ -129,6 +129,53 @@ expect net.drops.injected == 0 at end
 	}
 }
 
+// TestRunControlVerbs drives the operator verbs end to end: a cordon
+// an operator placed, a drain (with its cp.drain span), a remediator
+// toggled on mid-run that rebuilds an unscripted disk failure, and the
+// span assertions — both the count and the duration-quantile form —
+// evaluating against the trace.
+func TestRunControlVerbs(t *testing.T) {
+	in := `scenario ops
+seed 1
+horizon 600s
+fleet ws 6
+fleet xfs 6 spares=1 managers=2 cache=8
+at 0s remediate on
+at 10s jobs 2 nodes=2 work=60s every=5s
+at 30s cordon 5
+at 60s drain 4
+at 120s diskfail 1
+at 400s uncordon 5
+expect cp.cordons == 1 at end
+expect cp.drains == 1 at end
+expect cp.uncordons == 1 at end
+expect remediate.rebuilds == 1 at end
+expect span cp.drain count == 1 at end
+expect span cp.drain p100 <= 10m at end
+expect span no.such.span p50 <= 1s at end
+expect span no.such.span count == 0 at end
+`
+	res, err := Run(mustParse(t, in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Checks {
+		switch {
+		case c.Expect.Span && c.Expect.Metric == "no.such.span" && c.Expect.Quantile > 0:
+			if c.Outcome != Unknown {
+				t.Fatalf("quantile of a missing span = %s, want UNKNOWN", c.Outcome)
+			}
+		default:
+			if c.Outcome != Pass {
+				t.Fatalf("check %q = %s (got %d) [%s]", c.Expect.String(), c.Outcome, c.Got, c.Detail)
+			}
+		}
+	}
+	if res.Pass != 7 || res.Unknown != 1 || res.Fail != 0 {
+		t.Fatalf("tally %d/%d/%d", res.Pass, res.Fail, res.Unknown)
+	}
+}
+
 // TestRunSharded checks the sharded path: end assertions evaluate on
 // the merged registry, and the report is identical across worker
 // counts (Workers is execution, not identity).

@@ -136,6 +136,15 @@ const (
 	// EvDiurnal feeds the generated diurnal interactive-activity trace
 	// into the cluster's daemons.
 	EvDiurnal
+	// EvCordon marks a workstation unschedulable via the control plane.
+	EvCordon
+	// EvUncordon clears a cordon (or a completed drain).
+	EvUncordon
+	// EvDrain evacuates a workstation: cordon, then migrate its guest
+	// away (controlplane.DrainAsync — the drain lands asynchronously).
+	EvDrain
+	// EvRemediate toggles the self-healing remediation loop on or off.
+	EvRemediate
 )
 
 // Event is one line of the timed script. Which fields matter depends on
@@ -174,6 +183,11 @@ type Event struct {
 	// Days sizes the diurnal activity trace (EvDiurnal; 0 = enough to
 	// cover the horizon).
 	Days int
+	// Node is the workstation a control verb addresses (EvCordon,
+	// EvUncordon, EvDrain).
+	Node int
+	// On is the remediation switch position (EvRemediate).
+	On bool
 }
 
 // CmpOp is an assertion comparison operator.
@@ -230,10 +244,17 @@ func (o CmpOp) Eval(got, want int64) bool {
 // Expect is one assertion: compare a metric (counter or gauge value,
 // histogram observation count, or histogram quantile when Quantile is
 // set) against Value at a checkpoint — a virtual time, or the end of
-// the run.
+// the run. The span form (Span set) asserts over the registry's span
+// trace instead: how many spans named Metric were recorded ("count"),
+// or a percentile of the closed spans' durations ("p95").
 type Expect struct {
-	// Metric is the registry name (docs/OBSERVABILITY.md).
+	// Metric is the registry name (docs/OBSERVABILITY.md) — a span name
+	// when Span is set.
 	Metric string
+	// Span switches the assertion to the span trace: Quantile zero is
+	// the "count" form (spans recorded with this name), nonzero a
+	// duration percentile over the closed spans.
+	Span bool
 	// Quantile, when nonzero, asserts the p-th percentile of a histogram
 	// (the "p95" form); zero asserts the metric's value.
 	Quantile float64
@@ -382,6 +403,18 @@ func (ev Event) String() string {
 		if ev.Days > 0 {
 			fmt.Fprintf(&b, " days=%d", ev.Days)
 		}
+	case EvCordon:
+		fmt.Fprintf(&b, "cordon %d", ev.Node)
+	case EvUncordon:
+		fmt.Fprintf(&b, "uncordon %d", ev.Node)
+	case EvDrain:
+		fmt.Fprintf(&b, "drain %d", ev.Node)
+	case EvRemediate:
+		if ev.On {
+			b.WriteString("remediate on")
+		} else {
+			b.WriteString("remediate off")
+		}
 	default:
 		fmt.Fprintf(&b, "event(%d)", int(ev.Kind))
 	}
@@ -391,7 +424,14 @@ func (ev Event) String() string {
 // String renders the assertion as a scenario line.
 func (ex Expect) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "expect %s", ex.Metric)
+	if ex.Span {
+		fmt.Fprintf(&b, "expect span %s", ex.Metric)
+		if ex.Quantile == 0 {
+			b.WriteString(" count")
+		}
+	} else {
+		fmt.Fprintf(&b, "expect %s", ex.Metric)
+	}
 	if ex.Quantile > 0 {
 		fmt.Fprintf(&b, " p%s", formatFrac(ex.Quantile))
 	}
@@ -415,73 +455,97 @@ func formatFrac(f float64) string {
 	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 
+// Problem is one parse or validation finding: the source line it came
+// from (0 when none applies) and a self-describing error. ParseAll and
+// Scenario.Problems collect every Problem in a file instead of
+// stopping at the first, so `nowsim check` can report them all.
+type Problem struct {
+	Line int
+	Err  error
+}
+
 // Validate reports the first structural problem: a missing fleet, an
 // event addressed at a fleet the scenario does not declare, a
 // checkpoint past the horizon, a sharded fleet mixed with scripted
 // events. Parse validates automatically; code-built scenarios should
-// call it before Run (Run calls it again regardless).
+// call it before Run (Run calls it again regardless). Problems returns
+// the full list instead of just the first.
 func (s *Scenario) Validate() error {
+	if ps := s.Problems(); len(ps) > 0 {
+		return ps[0].Err
+	}
+	return nil
+}
+
+// Problems reports every structural problem Validate checks for, in
+// declaration order (header lines first, then events, then expects).
+// An empty result means the scenario is runnable.
+func (s *Scenario) Problems() []Problem {
+	var ps []Problem
+	add := func(line int, format string, a ...any) {
+		ps = append(ps, Problem{Line: line, Err: fmt.Errorf(format, a...)})
+	}
 	if s.Name == "" {
-		return fmt.Errorf("scenario: missing 'scenario <name>' line")
+		add(0, "scenario: missing 'scenario <name>' line")
 	}
 	fl := s.Fleet
 	if fl.WS == 0 && fl.XFS == nil && fl.Shards == nil {
-		return fmt.Errorf("scenario %s: no fleet declared (want 'fleet ws', 'fleet xfs' or 'fleet shards')", s.Name)
+		add(0, "scenario %s: no fleet declared (want 'fleet ws', 'fleet xfs' or 'fleet shards')", s.Name)
 	}
 	if fl.WS < 0 {
-		return fmt.Errorf("scenario %s: fleet ws %d", s.Name, fl.WS)
+		add(0, "scenario %s: fleet ws %d", s.Name, fl.WS)
 	}
 	if fl.Policy != "" && !contains(policies, fl.Policy) {
-		return fmt.Errorf("scenario %s: unknown policy %q (want migrate, restart or ignore)", s.Name, fl.Policy)
+		add(0, "scenario %s: unknown policy %q (want migrate, restart or ignore)", s.Name, fl.Policy)
 	}
 	if fl.FabricName != "" && !contains(fabricPresets, fl.FabricName) {
-		return fmt.Errorf("scenario %s: unknown fabric %q (want %s)", s.Name, fl.FabricName, strings.Join(fabricPresets, ", "))
+		add(0, "scenario %s: unknown fabric %q (want %s)", s.Name, fl.FabricName, strings.Join(fabricPresets, ", "))
 	}
 	if x := fl.XFS; x != nil {
 		if x.Nodes-x.Spares < 3 {
-			return fmt.Errorf("scenario %s: fleet xfs %d spares=%d leaves fewer than 3 stripe members", s.Name, x.Nodes, x.Spares)
+			add(0, "scenario %s: fleet xfs %d spares=%d leaves fewer than 3 stripe members", s.Name, x.Nodes, x.Spares)
 		}
 	}
 	if sh := fl.Shards; sh != nil {
 		if fl.WS < 2 {
-			return fmt.Errorf("scenario %s: fleet shards needs 'fleet ws <nodes>' with at least 2 nodes", s.Name)
+			add(0, "scenario %s: fleet shards needs 'fleet ws <nodes>' with at least 2 nodes", s.Name)
 		}
 		if fl.XFS != nil {
-			return fmt.Errorf("scenario %s: fleet shards cannot combine with fleet xfs", s.Name)
+			add(0, "scenario %s: fleet shards cannot combine with fleet xfs", s.Name)
 		}
 		if sh.Parts < 1 || sh.Parts > fl.WS {
-			return fmt.Errorf("scenario %s: fleet shards %d with %d nodes", s.Name, sh.Parts, fl.WS)
+			add(0, "scenario %s: fleet shards %d with %d nodes", s.Name, sh.Parts, fl.WS)
 		}
-		if len(s.Events) > 0 {
-			return fmt.Errorf("scenario %s: %s: sharded scenarios take no events", s.Name, at(s.Events[0]))
+		for _, ev := range s.Events {
+			add(ev.Line, "scenario %s: %s: sharded scenarios take no events", s.Name, at(ev))
 		}
 		for _, ex := range s.Expects {
 			if !ex.AtEnd {
-				return fmt.Errorf("scenario %s: %s: sharded scenarios support 'at end' checkpoints only", s.Name, atx(ex))
+				add(ex.Line, "scenario %s: %s: sharded scenarios support 'at end' checkpoints only", s.Name, atx(ex))
 			}
 		}
-		return nil
+		return ps
 	}
 	if s.Horizon <= 0 {
-		return fmt.Errorf("scenario %s: missing 'horizon <duration>' line", s.Name)
+		add(0, "scenario %s: missing 'horizon <duration>' line", s.Name)
 	}
 	for _, ev := range s.Events {
-		if ev.At > sim.Time(s.Horizon) {
-			return fmt.Errorf("scenario %s: %s: event at %s is past the horizon %s", s.Name, at(ev), sim.Duration(ev.At), s.Horizon)
+		if s.Horizon > 0 && ev.At > sim.Time(s.Horizon) {
+			add(ev.Line, "scenario %s: %s: event at %s is past the horizon %s", s.Name, at(ev), sim.Duration(ev.At), s.Horizon)
 		}
 		if err := s.validateEvent(ev); err != nil {
-			return fmt.Errorf("scenario %s: %s: %w", s.Name, at(ev), err)
+			add(ev.Line, "scenario %s: %s: %v", s.Name, at(ev), err)
 		}
 	}
 	for _, ex := range s.Expects {
-		if !ex.AtEnd && ex.At > sim.Time(s.Horizon) {
-			return fmt.Errorf("scenario %s: %s: checkpoint %s is past the horizon %s (use 'at end')", s.Name, atx(ex), sim.Duration(ex.At), s.Horizon)
+		if !ex.AtEnd && s.Horizon > 0 && ex.At > sim.Time(s.Horizon) {
+			add(ex.Line, "scenario %s: %s: checkpoint %s is past the horizon %s (use 'at end')", s.Name, atx(ex), sim.Duration(ex.At), s.Horizon)
 		}
 		if ex.Quantile < 0 || ex.Quantile > 100 {
-			return fmt.Errorf("scenario %s: %s: quantile p%s out of (0,100]", s.Name, atx(ex), formatFrac(ex.Quantile))
+			add(ex.Line, "scenario %s: %s: quantile p%s out of (0,100]", s.Name, atx(ex), formatFrac(ex.Quantile))
 		}
 	}
-	return nil
+	return ps
 }
 
 // validateEvent checks one event against the declared fleet.
@@ -543,6 +607,16 @@ func (s *Scenario) validateEvent(ev Event) error {
 		}
 	case EvDiurnal:
 		return needWS("diurnal")
+	case EvCordon, EvUncordon, EvDrain:
+		verb := map[EventKind]string{EvCordon: "cordon", EvUncordon: "uncordon", EvDrain: "drain"}[ev.Kind]
+		if err := needWS(verb); err != nil {
+			return err
+		}
+		if ev.Node < 1 || ev.Node > s.Fleet.WS {
+			return fmt.Errorf("%s %d outside workstations 1..%d", verb, ev.Node, s.Fleet.WS)
+		}
+	case EvRemediate:
+		return needWS("remediate")
 	default:
 		return fmt.Errorf("unknown event kind %d", int(ev.Kind))
 	}

@@ -16,8 +16,11 @@ horizon 7200s
 fleet ws 16 policy=restart heartbeat=2s fabric=myrinet
 fleet xfs 10 spares=2 managers=2 cache=32 block=4096 pipelined
 at 0s diurnal days=1
+at 0s remediate on
 at 60s opmix 8 meta=0.95 think=2s files=16 blocks=8
 at 120s jobs 3 nodes=4 work=300s every=60s grain=10s
+at 300s cordon 7
+at 420s drain 9
 at 600s partition 3,4 for 120s
 at 900s load 1.5
 at 1200s crash 5 for 300s
@@ -25,11 +28,15 @@ at 1500s diskfail 2
 at 1800s flashcrowd 6 for 600s
 at 2100s rebuild 2
 at 2700s mgrkill 0
+at 3000s uncordon 7
+at 3300s remediate off
 expect glunix.ws.idle >= 0 at 300s
 expect faults.injected >= 2 at 1800s
 expect net.drops.injected != 0 at end
 expect scenario.opmix.latency.ns p95 <= 50ms at end
 expect scenario.opmix.ops > 0 at end
+expect span cp.drain count >= 1 at end
+expect span remediate.rebuild p95 <= 60s at end
 `
 
 // TestParsePrintIdentity is the grammar's core contract: parsing the
@@ -122,6 +129,11 @@ func TestParseErrorsCarryLineNumbers(t *testing.T) {
 		{"bad quantile", "scenario x\nexpect m.n pXX <= 3 at end\n", "line 2: bad quantile"},
 		{"bad fleet", "scenario x\nfleet carrier 3\n", `line 2: unknown fleet kind "carrier"`},
 		{"bad jobs option", "scenario x\nseed 1\nat 0s jobs 3 speed=9\n", `line 3: jobs: unknown option "speed"`},
+		{"bad cordon node", "scenario x\nseed 1\nat 0s cordon many\n", `line 3: cordon: bad workstation "many"`},
+		{"drain wants one ws", "scenario x\nseed 1\nat 0s drain 1 2\n", "line 3: drain wants one workstation"},
+		{"bad remediate arg", "scenario x\nseed 1\nat 0s remediate maybe\n", "line 3: remediate wants 'on' or 'off'"},
+		{"bad span selector", "scenario x\nexpect span cp.drain mean >= 1 at end\n", "line 2: expect span wants 'count' or a quantile"},
+		{"bad span quantile", "scenario x\nexpect span cp.drain pXX >= 1 at end\n", "line 2: bad span quantile"},
 	}
 	for _, tc := range cases {
 		_, err := Parse(strings.NewReader(tc.in))
@@ -155,6 +167,10 @@ func TestValidateRejections(t *testing.T) {
 		{"shards with xfs", "scenario x\nfleet ws 8\nfleet xfs 4\nfleet shards 4\n", "cannot combine"},
 		{"shards with events", "scenario x\nfleet ws 8\nfleet shards 4\nat 0s crash 2\n", "no events"},
 		{"shards timed expect", "scenario x\nfleet ws 8\nfleet shards 4\nexpect m == 0 at 5s\n", "'at end' checkpoints only"},
+		{"cordon without ws", "scenario x\nhorizon 1h\nfleet xfs 4\nat 5s cordon 2\n", "needs a 'fleet ws'"},
+		{"cordon out of range", "scenario x\nhorizon 1h\nfleet ws 4\nat 5s cordon 9\n", "outside workstations 1..4"},
+		{"drain master", "scenario x\nhorizon 1h\nfleet ws 4\nat 5s drain 0\n", "outside workstations 1..4"},
+		{"remediate without ws", "scenario x\nhorizon 1h\nfleet xfs 4\nat 5s remediate on\n", "needs a 'fleet ws'"},
 	}
 	for _, tc := range cases {
 		_, err := Parse(strings.NewReader(tc.in))
@@ -164,6 +180,46 @@ func TestValidateRejections(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.wantSub) {
 			t.Fatalf("%s: error %q missing %q", tc.name, err, tc.wantSub)
 		}
+	}
+}
+
+// TestParseAllCollectsEverything is the `nowsim check` contract: a file
+// with several independent mistakes reports all of them in one pass,
+// each anchored to its source line, instead of stopping at the first.
+func TestParseAllCollectsEverything(t *testing.T) {
+	in := `scenario broken
+seed nope
+horizon 600s
+fleet ws 4
+at 5s explode 1
+at 10s cordon 9
+at 2h crash 2
+expect m.n ~= 3 at end
+`
+	_, probs := ParseAll(strings.NewReader(in))
+	if len(probs) != 5 {
+		t.Fatalf("got %d problems, want 5: %v", len(probs), probs)
+	}
+	wants := []struct {
+		line int
+		sub  string
+	}{
+		{2, "bad seed"},
+		{5, `unknown event "explode"`},
+		{8, "unknown comparison"},
+		{6, "outside workstations 1..4"}, // validation problems follow parse problems
+		{7, "past the horizon"},
+	}
+	for i, w := range wants {
+		p := probs[i]
+		if p.Line != w.line || !strings.Contains(p.Err.Error(), w.sub) {
+			t.Fatalf("problem %d = line %d %q, want line %d containing %q",
+				i, p.Line, p.Err, w.line, w.sub)
+		}
+	}
+	// Parse (the strict form) reports only the first.
+	if _, err := Parse(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "bad seed") {
+		t.Fatalf("Parse first error = %v", err)
 	}
 }
 

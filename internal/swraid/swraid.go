@@ -175,6 +175,20 @@ func (a *Array) MarkFailed(id netsim.NodeID) { a.dead[id] = true }
 // MarkRepaired clears a failure mark (after Rebuild).
 func (a *Array) MarkRepaired(id netsim.NodeID) { delete(a.dead, id) }
 
+// FailedStores lists the stripe members currently marked failed, in id
+// order — empty when the array is healthy. Only stores in the layout
+// count: a failure mark left by a node outside the stripe (a crashed
+// spare, a replaced member) does not make the array degraded.
+func (a *Array) FailedStores() []netsim.NodeID {
+	var out []netsim.NodeID
+	for _, id := range a.cfg.Stores {
+		if a.dead[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // Stats returns (reads, writes, degradedReads).
 func (a *Array) Stats() (reads, writes, degraded int64) {
 	return a.reads, a.writes, a.degraded

@@ -188,6 +188,7 @@ type Stats struct {
 	Invalidations  int64
 	OwnerYields    int64
 	Failovers      int64
+	Handoffs       int64 // graceful manager moves (drain), no metadata loss
 
 	// Pipelined data path (ReadAt/WriteAt, read-ahead, group commit).
 	RangeReads     int64 // read-range token calls (one per ReadAt batch)
@@ -297,6 +298,129 @@ func (sys *System) SpareNodeIDs() []int {
 		ids = append(ids, i)
 	}
 	return ids
+}
+
+// NodeDown reports whether node n has been removed from the
+// installation (crashed, drained, or killed with its manager).
+func (sys *System) NodeDown(n int) bool { return sys.down[n] }
+
+// StripeMembers lists the nodes currently in the storage stripe, in
+// layout order, as seen by a live client. After RecoverStorage the
+// replaced member's slot names the spare that adopted its data.
+func (sys *System) StripeMembers() []int {
+	a := sys.viewArray()
+	if a == nil {
+		return nil
+	}
+	stores := a.Config().Stores
+	out := make([]int, len(stores))
+	for i, id := range stores {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// FailedStores lists stripe members currently marked failed — the
+// degraded set a health check watches. Empty when the stripe is whole.
+func (sys *System) FailedStores() []int {
+	a := sys.viewArray()
+	if a == nil {
+		return nil
+	}
+	var out []int
+	for _, id := range a.FailedStores() {
+		out = append(out, int(id))
+	}
+	return out
+}
+
+// ManagersOn lists the manager indexes currently hosted on node n.
+func (sys *System) ManagersOn(n int) []int {
+	var out []int
+	for _, m := range sys.managers {
+		if m.node == n {
+			out = append(out, m.idx)
+		}
+	}
+	return out
+}
+
+// viewArray returns a live client's array — the authoritative view of
+// the shared layout (all clients adopt the same one).
+func (sys *System) viewArray() *swraid.Array {
+	for _, c := range sys.clients {
+		if !sys.down[c.node] {
+			return c.array
+		}
+	}
+	return nil
+}
+
+// HandoffManagers gracefully moves every manager hosted on node to its
+// standby: unlike FailManager, the full metadata map travels with the
+// role (no async-replica loss window) and nothing crashes. It is the
+// manager half of a drain; the caller removes the node afterwards.
+// Returns how many managers moved.
+func (sys *System) HandoffManagers(node int) int {
+	moved := 0
+	for _, m := range sys.managers {
+		if m.node != node {
+			continue
+		}
+		sp := sys.obs.StartSpan("xfs.mgr.handoff", node)
+		dest := m.standby
+		if dest == node || sys.down[dest] {
+			dest = sys.nextAlive(node, node)
+		}
+		m.node = dest
+		m.standby = sys.nextAlive(dest, dest)
+		// Graceful: m.meta moves with the role; the replica map restarts
+		// empty on the new standby and re-fills as entries are written.
+		sys.replicas[m.idx] = make(map[BlockKey]*blockMeta)
+		sys.stats.Handoffs++
+		if sp != 0 {
+			sys.obs.Annotate(sp, fmt.Sprintf("manager %d → node %d", m.idx, dest))
+		}
+		sys.obs.EndSpan(sp)
+		moved++
+	}
+	if moved > 0 {
+		sys.registerManagerHandlers()
+	}
+	return moved
+}
+
+// DrainNode removes node from the installation gracefully: manager
+// roles hand off to standbys first, then — if the node is an active
+// stripe member — its data is reconstructed onto spare before the node
+// detaches. spare is ignored when the node holds no stripe data; pass
+// the next unconsumed hot spare (see faults.XFSTarget) otherwise.
+// This is the storage half of a control-plane drain.
+func (sys *System) DrainNode(p *sim.Proc, node, spare int) error {
+	if node < 0 || node >= len(sys.eps) {
+		return fmt.Errorf("xfs: drain node %d out of range", node)
+	}
+	if sys.down[node] {
+		return fmt.Errorf("xfs: node %d already removed", node)
+	}
+	sys.HandoffManagers(node)
+	inStripe := false
+	for _, m := range sys.StripeMembers() {
+		if m == node {
+			inStripe = true
+			break
+		}
+	}
+	// Removing the node marks its store failed in every layout; for a
+	// stripe member the rebuild below then reconstructs onto the spare.
+	sys.CrashStorage(node)
+	if !inStripe {
+		return nil
+	}
+	if spare < 0 || spare >= len(sys.eps) {
+		return fmt.Errorf("xfs: drain of stripe member %d needs a spare", node)
+	}
+	return sys.RecoverStorage(p, node, spare)
 }
 
 // managerOf maps a file to its manager index (the manager map).

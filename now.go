@@ -30,6 +30,7 @@
 package now
 
 import (
+	"github.com/nowproject/now/internal/controlplane"
 	"github.com/nowproject/now/internal/coopcache"
 	"github.com/nowproject/now/internal/faults"
 	"github.com/nowproject/now/internal/gator"
@@ -355,16 +356,20 @@ type (
 	ScenarioResult  = scenario.Result
 	ScenarioCheck   = scenario.Check
 	ScenarioOptions = scenario.Options
+	ScenarioProblem = scenario.Problem
 )
 
 // Scenario constructors. ParseScenario reads the DSL from a reader;
 // ParseScenarioFile also anchors fault-plan references to the file's
-// directory; RunScenario executes one and evaluates its assertions
-// (assertion failures are data — ScenarioResult.Ok — not errors).
+// directory; ParseScenarioFileAll collects EVERY parse/validation
+// problem instead of stopping at the first (the `nowsim check` form);
+// RunScenario executes one and evaluates its assertions (assertion
+// failures are data — ScenarioResult.Ok — not errors).
 var (
-	ParseScenario     = scenario.Parse
-	ParseScenarioFile = scenario.ParseFile
-	RunScenario       = scenario.Run
+	ParseScenario        = scenario.Parse
+	ParseScenarioFile    = scenario.ParseFile
+	ParseScenarioFileAll = scenario.ParseFileAll
+	RunScenario          = scenario.Run
 )
 
 // ---- observability ----
@@ -416,6 +421,39 @@ type GLUnixMixedResult = glunix.MixedResult
 // built cluster before the simulation starts — the place to attach a
 // fault injector or extra workloads.
 var RunGLUnixMixed = glunix.RunMixedWith
+
+// ---- control plane (operate the cluster) ----
+
+// Control-plane aliases: a ControlPlane is the in-process operator API
+// over a live cluster (census, cordon/uncordon, drain, live fault
+// injection, metric/span streaming); a Remediator closes the
+// self-healing loop; a ControlPlaneServer maps virtual time onto the
+// wall clock and serves the HTTP/JSON operator API; a
+// ControlPlaneClient is its typed client (what nowctl speaks). See
+// docs/CONTROLPLANE.md.
+type (
+	ControlPlane             = controlplane.ControlPlane
+	ControlPlaneConfig       = controlplane.Config
+	ControlPlaneServer       = controlplane.Server
+	ControlPlaneServerConfig = controlplane.ServerConfig
+	ControlPlaneClient       = controlplane.Client
+	ControlPlaneStack        = controlplane.Stack
+	ControlPlaneStackConfig  = controlplane.StackConfig
+	Remediator               = controlplane.Remediator
+	RemediationPolicy        = controlplane.RemediationPolicy
+	WorkstationStatus        = controlplane.NodeStatus
+	StoreStatus              = controlplane.StoreStatus
+	NOWClusterStatus         = controlplane.ClusterStatus
+)
+
+// Control-plane constructors.
+var (
+	NewControlPlane          = controlplane.New
+	NewControlPlaneServer    = controlplane.NewServer
+	NewControlPlaneStack     = controlplane.NewStack
+	NewRemediator            = controlplane.NewRemediator
+	DefaultRemediationPolicy = controlplane.DefaultRemediationPolicy
+)
 
 // ---- network RAM multigrid workload ----
 

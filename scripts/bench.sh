@@ -27,6 +27,12 @@ go test -run '^$' -bench "$sim_benches" -benchmem -benchtime "$benchtime" \
 go test -run '^$' -bench 'BenchmarkXFSReadDegraded$|BenchmarkXFSSeqScan$' -benchtime "$benchtime" \
     ./internal/xfs/ | tee -a "$raw"
 
+# Control-plane snapshot streaming: the per-poll cost an operator
+# dashboard imposes on the serve loop's drive goroutine (status +
+# metrics snapshot + span fetch + JSON export against a warm stack).
+go test -run '^$' -bench 'BenchmarkSnapshotStream$' -benchmem -benchtime "$benchtime" \
+    ./internal/controlplane/ | tee -a "$raw"
+
 # Fabric hot path (must stay at 0 allocs/op) and the collective scale
 # headliners: a 1,024-rank barrier and a 128-rank all-to-all, with
 # virtual µs/op alongside the wall-clock figures.

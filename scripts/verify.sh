@@ -18,6 +18,8 @@ echo "== go test -race ./internal/sim/... (incl. sharded engine paths)"
 go test -race -count=1 ./internal/sim/...
 echo "== go test -race ./internal/faults/..."
 go test -race -count=1 ./internal/faults/...
+echo "== go test -race ./internal/controlplane/... (serve drive loop + HTTP round trip)"
+go test -race -count=1 ./internal/controlplane/...
 echo "== go test -race ./internal/netsim/... ./internal/proto/... (incl. cross-shard handoff)"
 go test -race -count=1 ./internal/netsim/... ./internal/proto/...
 echo "== go test -race sharded experiments stack (engine+fabric+collectives end to end)"
@@ -35,6 +37,9 @@ go test -count=1 -run 'TestDeterminismGolden32|TestDeterminismGolden128' ./inter
 go test -count=1 -run 'TestScaleStudyGoldenDeterminism' ./cmd/nowbench/ >/dev/null
 echo "== xFS pipelined data path golden determinism (ST2 byte-identical)"
 go test -count=1 -run 'TestSeqScanGoldenDeterminism' ./cmd/nowbench/ >/dev/null
+echo "== self-healing golden determinism (AV2 byte-identical, remediation on beats off)"
+go test -count=1 -run 'TestRemediationGoldenDeterminism' ./cmd/nowbench/ >/dev/null
+go test -count=1 -run 'TestRemediationStudyImproves' ./internal/experiments/ >/dev/null
 echo "== cross-shard golden determinism (nowsim -shards 1/2/4/8 byte-identical)"
 go test -count=1 -run 'TestShardedRunGoldenDeterminism' ./cmd/nowsim/ >/dev/null
 go test -count=1 -run 'TestShardedTrafficDeterministicAcrossWorkers' ./internal/experiments/ >/dev/null
