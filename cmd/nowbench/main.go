@@ -13,7 +13,9 @@
 // prose claims E5 E6 E7 E8 E9 E10, the fault-injection availability
 // study AV1 (docs/FAULTS.md), the collective scale study SC1, the
 // sharded-engine throughput study SC2 (DESIGN.md §10; -shards pins its
-// worker count), and the xFS sequential-scan pipelining study ST2.
+// worker count), the topology study SC3 (crossbar vs fat-tree vs torus,
+// software tree vs in-network combining; DESIGN.md §13), and the xFS
+// sequential-scan pipelining study ST2.
 package main
 
 import (
@@ -160,6 +162,14 @@ func run(args []string) error {
 				cfg.Workers = []int{*shards}
 			}
 			r, _, err := experiments.ShardScale(cfg)
+			return r, err
+		}},
+		{"SC3", func() (experiments.Report, error) {
+			cfg := experiments.DefaultTopoStudyConfig()
+			if *quick {
+				cfg = experiments.QuickTopoStudyConfig()
+			}
+			r, _, err := experiments.TopologyStudy(cfg)
 			return r, err
 		}},
 		{"ST2", func() (experiments.Report, error) {

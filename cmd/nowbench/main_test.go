@@ -187,3 +187,47 @@ func TestRunUnknownIDIsNoop(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTopologyStudyGoldenDeterminism is the SC3 golden: the topology
+// study — six phases per (topology, size) cell, in-network combine
+// events and topology-fabric metrics included — run twice through the
+// full CLI path, must produce byte-identical report JSON and metrics
+// files. SC3 is single-engine by construction (sharded fabrics reject
+// topologies), so the -shards flag cannot perturb it.
+func TestTopologyStudyGoldenDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(n string) ([]byte, []byte) {
+		mpath := filepath.Join(dir, "sc3-"+n+".json")
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		runErr := run([]string{"-json", "-quick", "-only", "SC3", "-metrics", mpath})
+		w.Close()
+		os.Stdout = old
+		raw, _ := io.ReadAll(r)
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		mb, err := os.ReadFile(mpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, mb
+	}
+	r1, m1 := runOnce("1")
+	r2, m2 := runOnce("2")
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("SC3 report JSON is not byte-deterministic")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("SC3 metrics export is not byte-deterministic")
+	}
+	for _, want := range []string{`"collective.innet.ops"`, `"collective.innet.combines"`, `"net.topo.hops"`, `"net.topo.queue.ns"`} {
+		if !bytes.Contains(m1, []byte(want)) {
+			t.Fatalf("SC3 metrics missing %s:\n%.300s", want, m1)
+		}
+	}
+}

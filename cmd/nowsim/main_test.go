@@ -266,6 +266,37 @@ expect net.cross.sent > 0 at end
 	}
 }
 
+// TestOperatorScenarioShardsInvariance pins that a scenario driven by
+// operator verbs (cordon/drain/remediate — the shipped self-healing
+// drill) produces a byte-identical report at every -shards worker
+// count. Operator scenarios run on the classic single engine, which
+// ignores the worker count entirely, so the report must not merely be
+// equivalent — it must not change at all.
+func TestOperatorScenarioShardsInvariance(t *testing.T) {
+	scn := filepath.Join("..", "..", "examples", "scenarios", "self-healing.scn")
+	runOnce := func(workers int) string {
+		out, err := captureRun(t, []string{"run", "-shards", fmt.Sprint(workers), scn})
+		if err != nil {
+			t.Fatalf("workers=%d: %v\n%s", workers, err, out)
+		}
+		return out
+	}
+	out1 := runOnce(1)
+	if !strings.Contains(out1, "result: PASS") {
+		t.Fatalf("operator scenario did not pass:\n%s", out1)
+	}
+	for _, verb := range []string{"cp.cordons", "cp.drains", "remediate.rebuilds"} {
+		if !strings.Contains(out1, verb) {
+			t.Fatalf("report does not exercise operator verb metric %q:\n%s", verb, out1)
+		}
+	}
+	for _, workers := range []int{2, 4} {
+		if out := runOnce(workers); out != out1 {
+			t.Errorf("-shards %d report differs from -shards 1:\n%s\n----\n%s", workers, out, out1)
+		}
+	}
+}
+
 // TestScenarioAssertFailureExit pins the exit-code contract: a failed
 // assertion still prints the full report, then surfaces errAssertFailed
 // (exit 2), distinct from parse errors (exit 1).

@@ -93,6 +93,13 @@ type Config struct {
 	// LossProb is the probability a packet is silently dropped after
 	// transmission, exercising the protocol layers' timeout/retry paths.
 	LossProb float64
+	// Topo selects the internal switch structure of a switched fabric
+	// (topology.go): nil is the flat single-switch crossbar, where every
+	// pair of nodes is one Latency apart and only destination links
+	// contend. With a topology, packets walk its deterministic route and
+	// charge Latency plus busy-until contention on every internal link.
+	// Shared-medium fabrics take no topology.
+	Topo Topology
 }
 
 // Stats aggregates fabric activity over a run. Offered counts packets
@@ -122,15 +129,17 @@ type Stats struct {
 // Fabric is a simulated LAN. Create one with New, register per-node
 // Delivery handlers, then Send from simulated processes.
 type Fabric struct {
-	eng     *sim.Engine
-	cfg     Config
-	medium  *sim.Resource   // shared mode: the one Ethernet segment
-	txLinks []*sim.Resource // switched mode: per-node transmit links
-	rxFree  []sim.Time      // switched mode: per-node receive-link horizon
-	ports   [][]Delivery    // per-node, port-indexed delivery handlers
-	pool    []*Packet       // free list for NewPacket/FreePacket
-	stats   Stats
-	m       *fabricMetrics // nil unless Instrument attached a registry
+	eng      *sim.Engine
+	cfg      Config
+	medium   *sim.Resource   // shared mode: the one Ethernet segment
+	txLinks  []*sim.Resource // switched mode: per-node transmit links
+	rxFree   []sim.Time      // switched mode: per-node receive-link horizon
+	topo     Topology        // nil: flat crossbar
+	linkFree []sim.Time      // per internal-link busy-until horizon (topologies)
+	ports    [][]Delivery    // per-node, port-indexed delivery handlers
+	pool     []*Packet       // free list for NewPacket/FreePacket
+	stats    Stats
+	m        *fabricMetrics // nil unless Instrument attached a registry
 
 	// Injected fault state (internal/faults drives these; all nil on a
 	// healthy fabric, so the send path pays only nil checks). Rows are
@@ -162,12 +171,19 @@ func New(e *sim.Engine, cfg Config) (*Fabric, error) {
 	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
 		return nil, fmt.Errorf("netsim: loss probability %v", cfg.LossProb)
 	}
+	if cfg.Topo != nil && cfg.Shared {
+		return nil, fmt.Errorf("netsim: shared-medium fabric %q cannot take topology %s", cfg.Name, cfg.Topo.Name())
+	}
 	f := &Fabric{
 		eng:   e,
 		cfg:   cfg,
 		ports: make([][]Delivery, cfg.Nodes),
 	}
 	f.deliverFn = f.deliverPacket
+	if t := cfg.Topo; t != nil {
+		f.topo = t
+		f.linkFree = make([]sim.Time, t.NumLinks())
+	}
 	if cfg.Shared {
 		f.medium = sim.NewResource(e, cfg.Name+"/medium", 1)
 	} else {
@@ -290,13 +306,41 @@ func (f *Fabric) Send(p *sim.Proc, pkt *Packet) {
 	// injected link delay is folded into the occupancy window so a later
 	// packet on a healing link cannot overtake an earlier one —
 	// per-(src,dst) delivery stays FIFO under fault churn.
-	headAtRx := f.eng.Now() - ser + f.cfg.Latency
+	//
+	// Under a topology the same step repeats per internal link: the
+	// head reaches each switch's output link Latency after the tail
+	// left the previous one, queues behind that link's busy-until
+	// horizon, and the tail follows one serialization later. The route
+	// is deterministic per (src, dst) and every horizon is monotone, so
+	// per-(src,dst) FIFO survives. With no topology the walk is empty
+	// and this is exactly the crossbar formula.
+	tail := f.eng.Now()
+	hops := 1
+	if t := f.topo; t != nil {
+		var routeArr [32]int
+		for _, li := range t.Route(pkt.Src, pkt.Dst, routeArr[:0]) {
+			headAt := tail - ser + f.cfg.Latency
+			if f.linkFree[li] > headAt {
+				headAt = f.linkFree[li]
+			}
+			tail = headAt + ser
+			f.linkFree[li] = tail
+			hops++
+		}
+	}
+	headAtRx := tail - ser + f.cfg.Latency
 	outStart := headAtRx
 	if f.rxFree[pkt.Dst] > outStart {
 		outStart = f.rxFree[pkt.Dst]
 	}
 	done := outStart + ser + f.injectedDelay(pkt)
 	f.rxFree[pkt.Dst] = done
+	if m := f.m; m != nil && m.topoHops != nil {
+		m.topoHops.Observe(int64(hops))
+		// Queueing: how far contention pushed delivery past the
+		// uncontended cut-through time (injected delay excluded).
+		m.topoQueue.Observe(int64(outStart + ser - (f.eng.Now() + sim.Duration(hops)*f.cfg.Latency)))
+	}
 	f.deliverAt(done, pkt)
 }
 
@@ -482,6 +526,41 @@ func (f *Fabric) MediumUtilization() float64 {
 		return 0
 	}
 	return f.medium.Utilization()
+}
+
+// Topology returns the fabric's internal switch topology (nil for the
+// flat crossbar).
+func (f *Fabric) Topology() Topology { return f.topo }
+
+// OccupyTx serialises bytes onto src's transmit link (or the shared
+// medium), blocking p exactly as Send's source side does, and returns
+// the serialization time. The in-network collective plane uses it to
+// charge a rank's injection cost for control messages the switch
+// fabric consumes (they never reach another NIC, so Send's addressing
+// and accounting do not apply).
+func (f *Fabric) OccupyTx(p *sim.Proc, src NodeID, bytes int) sim.Duration {
+	ser := f.SerializationTime(bytes)
+	if f.cfg.Shared {
+		f.medium.Use(p, 1, ser)
+		return ser
+	}
+	f.txLinks[src].Use(p, 1, ser)
+	return ser
+}
+
+// ReserveRx folds one switch-injected packet into dst's receive-link
+// busy-until horizon: the head arrives (uncontended) at headAtRx, queues
+// behind earlier arrivals, and the tail follows ser later. It returns
+// the delivery-complete time. The in-network collective plane uses it
+// so down-path multicasts contend with data traffic at the NIC.
+func (f *Fabric) ReserveRx(dst NodeID, headAtRx sim.Time, ser sim.Duration) sim.Time {
+	outStart := headAtRx
+	if f.rxFree[dst] > outStart {
+		outStart = f.rxFree[dst]
+	}
+	done := outStart + ser
+	f.rxFree[dst] = done
+	return done
 }
 
 // TxLinkUtilization reports the time-averaged utilisation of one node's

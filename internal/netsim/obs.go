@@ -15,6 +15,8 @@ type fabricMetrics struct {
 	crossSent      *obs.Counter   // net.cross.sent
 	crossRecv      *obs.Counter   // net.cross.recv
 	latency        *obs.Histogram // net.am.latency.ns
+	topoHops       *obs.Histogram // net.topo.hops (topology fabrics only)
+	topoQueue      *obs.Histogram // net.topo.queue.ns (topology fabrics only)
 }
 
 // Instrument attaches metrics collectors to the fabric. Call once per
@@ -37,6 +39,12 @@ type fabricMetrics struct {
 //	                         on sharded fabrics only; counted at the source)
 //	net.cross.recv           packets injected from another partition
 //	                         (sharded fabrics only)
+//	net.topo.hops            switch traversals per delivered packet
+//	                         (topology fabrics only; crossbar-equivalent
+//	                         final hop included, so the flat fabric's 1)
+//	net.topo.queue.ns        internal-link + rx queueing delay beyond the
+//	                         uncontended cut-through time (topology
+//	                         fabrics only)
 //	net.am.latency.ns        send-to-delivery latency histogram
 //	net.medium.util.ppm      shared-medium utilization, ppm (sampled)
 //	net.links.tx.util.ppm.mean  mean tx-link utilization, ppm (sampled;
@@ -61,6 +69,12 @@ func (f *Fabric) Instrument(r *obs.Registry) {
 		// rows it can never increment (classic-run goldens stay stable).
 		f.m.crossSent = r.Counter("net.cross.sent")
 		f.m.crossRecv = r.Counter("net.cross.recv")
+	}
+	if f.topo != nil {
+		// Topology fabrics only, for the same golden-stability reason:
+		// the flat crossbar's export is unchanged by the topology seam.
+		f.m.topoHops = r.Histogram("net.topo.hops", obs.DepthBuckets)
+		f.m.topoQueue = r.Histogram("net.topo.queue.ns", obs.DurationBuckets)
 	}
 	if f.medium != nil {
 		util := r.Gauge("net.medium.util.ppm")

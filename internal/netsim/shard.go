@@ -99,6 +99,12 @@ func NewSharded(se *sim.ShardedEngine, cfg Config, pm PartitionMap) (*ShardedFab
 	if cfg.Shared {
 		return nil, fmt.Errorf("netsim: shared-medium fabric %q cannot be sharded", cfg.Name)
 	}
+	if cfg.Topo != nil {
+		// Internal links would be shared mutable state across partition
+		// engines; routing them through the handoff protocol is future
+		// work (DESIGN.md §13). Topology studies run single-engine.
+		return nil, fmt.Errorf("netsim: topology %s cannot be sharded", cfg.Topo.Name())
+	}
 	if pm.NumNodes() != cfg.Nodes {
 		return nil, fmt.Errorf("netsim: partition map covers %d nodes, fabric has %d", pm.NumNodes(), cfg.Nodes)
 	}

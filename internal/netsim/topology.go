@@ -1,0 +1,343 @@
+// Topologies: the internal switch structure of a switched fabric.
+//
+// The default Fabric is a flat crossbar — one ideal switch, every pair
+// of nodes one traversal apart, contention only at the destination
+// link. That is the right first-order model for the paper's single-
+// switch building block, but the Cluster Computing White Paper (and
+// every fabric the NOW lineage actually deployed) routes through a
+// *structured* interconnect: multi-stage fat-trees with configurable
+// over-subscription, or low-dimension tori with dimension-order
+// routing. A Topology plugs that structure into the Fabric's cut-
+// through model:
+//
+//   - Route returns the deterministic sequence of internal directed
+//     links a packet crosses between its source and destination NIC;
+//   - each internal link is a busy-until horizon, exactly like the
+//     destination receive link, so tree up-links and torus ring links
+//     contend and queue;
+//   - every traversal (each internal link, plus the final hop onto the
+//     destination link) charges the fabric's per-hop Latency.
+//
+// With a nil Topology the walk is empty and the Fabric reduces —
+// bit-for-bit, RNG draw for RNG draw — to the original crossbar.
+//
+// Topologies also expose the switch hierarchy itself (CombineTree) so
+// the in-network collective plane (internal/proto/collective, SHARP-
+// style switch combining) can combine and multicast at the same
+// switches the data path routes through.
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology describes the internal switch structure of a switched
+// fabric. Implementations must be deterministic: Route for a given
+// (src, dst) always returns the same link sequence, because delivery
+// order (and therefore every downstream event) derives from it.
+type Topology interface {
+	// Name labels the topology in diagnostics and reports.
+	Name() string
+	// NumLinks is the number of internal directed links; the Fabric
+	// keeps one busy-until horizon per link.
+	NumLinks() int
+	// Route appends the internal directed link ids a packet from src to
+	// dst traverses, in order. The source NIC's transmit link and the
+	// final hop onto dst's receive link are NOT included — the Fabric
+	// models those itself, exactly as it does for the crossbar.
+	Route(src, dst NodeID, buf []int) []int
+}
+
+// CombineTree is the switch hierarchy a topology exposes for in-network
+// combining and multicast: one entry per switch, rooted, with every
+// host attached to exactly one switch. The flat crossbar is a single
+// switch with every host attached.
+type CombineTree struct {
+	// Parent is each switch's parent switch, -1 at the root.
+	Parent []int
+	// SwitchOf is each node's ingress/egress switch.
+	SwitchOf []int
+}
+
+// Depth returns the number of switch-to-switch edges from the deepest
+// host-bearing switch to the root.
+func (t CombineTree) Depth() int {
+	depth := make([]int, len(t.Parent))
+	var walk func(s int) int
+	walk = func(s int) int {
+		if t.Parent[s] < 0 {
+			return 0
+		}
+		if depth[s] == 0 {
+			depth[s] = walk(t.Parent[s]) + 1
+		}
+		return depth[s]
+	}
+	max := 0
+	for _, s := range t.SwitchOf {
+		if d := walk(s); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// combiner is implemented by topologies that expose their switch
+// hierarchy for in-network collectives.
+type combiner interface {
+	CombineTree() CombineTree
+}
+
+// CombineTreeOf returns the switch hierarchy of a topology, or the
+// single-switch star of the flat crossbar when topo is nil (or does not
+// expose one).
+func CombineTreeOf(topo Topology, nodes int) CombineTree {
+	if c, ok := topo.(combiner); ok && topo != nil {
+		return c.CombineTree()
+	}
+	sw := make([]int, nodes)
+	return CombineTree{Parent: []int{-1}, SwitchOf: sw}
+}
+
+// TopoByName builds a topology from its scenario/CLI name: "crossbar"
+// (or "") returns nil — the flat default — "fattree" an 8-ary
+// 1:1-provisioned fat-tree, "torus" a 2D torus.
+func TopoByName(name string, nodes int) (Topology, error) {
+	switch name {
+	case "", "crossbar":
+		return nil, nil
+	case "fattree":
+		return NewFatTree(nodes, 8, 1)
+	case "torus":
+		return NewTorus(nodes)
+	}
+	return nil, fmt.Errorf("netsim: unknown topology %q (want crossbar, fattree or torus)", name)
+}
+
+// fatTree is a k-ary multi-stage switch tree: leaf switches attach k
+// hosts each and every group of k switches shares a parent, up to a
+// single root. Each non-root switch has u parallel up-links to its
+// parent (and u matching down-links), with u = max(1, k/oversub):
+// oversub 1 is full bisection provisioning, oversub k the maximally
+// thin tree. Up-links are picked per destination (ECMP-style static
+// hashing), so distinct flows spread while one flow stays FIFO.
+type fatTree struct {
+	hosts   int
+	k       int // switch arity: hosts per leaf, children per inner switch
+	uplinks int // parallel links from each non-root switch to its parent
+	oversub int
+
+	parent   []int // per switch, -1 at the root
+	upBase   []int // first up-link id (this switch → parent), -1 at the root
+	downBase []int // first down-link id (parent → this switch), -1 at the root
+	numLinks int
+}
+
+// NewFatTree builds a k-ary fat-tree over nodes hosts. oversub ≥ 1
+// thins the up-links: each switch gets max(1, k/oversub) links toward
+// its parent instead of k.
+func NewFatTree(nodes, k, oversub int) (Topology, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("netsim: fat-tree over %d nodes", nodes)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("netsim: fat-tree arity %d (want ≥ 2)", k)
+	}
+	if oversub < 1 {
+		return nil, fmt.Errorf("netsim: fat-tree over-subscription %d (want ≥ 1)", oversub)
+	}
+	t := &fatTree{hosts: nodes, k: k, oversub: oversub, uplinks: k / oversub}
+	if t.uplinks < 1 {
+		t.uplinks = 1
+	}
+	// Build levels bottom-up: ceil(nodes/k) leaves, then every k
+	// switches share a parent until one root remains. Switch ids are
+	// assigned level by level, leaves first.
+	leaves := (nodes + k - 1) / k
+	level := make([]int, leaves)
+	next := 0
+	for i := range level {
+		level[i] = next
+		next++
+	}
+	t.parent = make([]int, 0, 2*leaves)
+	for range level {
+		t.parent = append(t.parent, -1)
+	}
+	for len(level) > 1 {
+		up := make([]int, 0, (len(level)+k-1)/k)
+		for i := 0; i < len(level); i += k {
+			p := next
+			next++
+			t.parent = append(t.parent, -1)
+			up = append(up, p)
+			for j := i; j < i+k && j < len(level); j++ {
+				t.parent[level[j]] = p
+			}
+		}
+		level = up
+	}
+	t.upBase = make([]int, len(t.parent))
+	t.downBase = make([]int, len(t.parent))
+	for s := range t.parent {
+		if t.parent[s] < 0 {
+			t.upBase[s], t.downBase[s] = -1, -1
+			continue
+		}
+		t.upBase[s] = t.numLinks
+		t.numLinks += t.uplinks
+		t.downBase[s] = t.numLinks
+		t.numLinks += t.uplinks
+	}
+	return t, nil
+}
+
+func (t *fatTree) Name() string {
+	return fmt.Sprintf("fattree(k=%d,over=%d)", t.k, t.oversub)
+}
+
+func (t *fatTree) NumLinks() int { return t.numLinks }
+
+// leafOf returns the leaf switch host h attaches to.
+func (t *fatTree) leafOf(h NodeID) int { return int(h) / t.k }
+
+// Route climbs from the source leaf to the lowest common ancestor and
+// descends to the destination leaf. All leaves sit at the same depth,
+// so the climb is symmetric. Up-links hash on the destination and
+// down-links on the source, spreading distinct flows while keeping any
+// one (src, dst) pair on a fixed path.
+func (t *fatTree) Route(src, dst NodeID, buf []int) []int {
+	s, d := t.leafOf(src), t.leafOf(dst)
+	if s == d {
+		return buf
+	}
+	var downArr [16]int
+	down := downArr[:0]
+	for s != d {
+		buf = append(buf, t.upBase[s]+int(dst)%t.uplinks)
+		s = t.parent[s]
+		down = append(down, t.downBase[d]+int(src)%t.uplinks)
+		d = t.parent[d]
+	}
+	for i := len(down) - 1; i >= 0; i-- {
+		buf = append(buf, down[i])
+	}
+	return buf
+}
+
+// CombineTree exposes the switch tree itself: in-network collectives
+// combine at the same switches the data path routes through.
+func (t *fatTree) CombineTree() CombineTree {
+	sw := make([]int, t.hosts)
+	for h := range sw {
+		sw[h] = t.leafOf(NodeID(h))
+	}
+	return CombineTree{Parent: append([]int(nil), t.parent...), SwitchOf: sw}
+}
+
+// torus is a W×H 2D torus: one router per grid position, four directed
+// links per router (+x, −x, +y, −y), dimension-order routing taking the
+// shorter wrap direction in x first, then y (ties break toward the
+// positive direction). Hosts attach one per router in row-major order;
+// when nodes < W*H the spare routers still switch transit traffic.
+type torus struct {
+	hosts, w, h int
+}
+
+// NewTorus builds a near-square 2D torus over nodes hosts.
+func NewTorus(nodes int) (Topology, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("netsim: torus over %d nodes", nodes)
+	}
+	w := int(math.Ceil(math.Sqrt(float64(nodes))))
+	if w < 2 {
+		w = 2
+	}
+	h := (nodes + w - 1) / w
+	if h < 2 {
+		h = 2
+	}
+	return &torus{hosts: nodes, w: w, h: h}, nil
+}
+
+func (t *torus) Name() string  { return fmt.Sprintf("torus(%dx%d)", t.w, t.h) }
+func (t *torus) NumLinks() int { return 4 * t.w * t.h }
+
+// Directed link directions out of a router.
+const (
+	torusXPos = 0
+	torusXNeg = 1
+	torusYPos = 2
+	torusYNeg = 3
+)
+
+func (t *torus) link(x, y, dir int) int { return 4*(y*t.w+x) + dir }
+
+// step returns the per-dimension step count and direction for the
+// shorter wrap between from and to over size (ties positive).
+func torusStep(from, to, size int) (steps, dir int) {
+	fwd := ((to-from)%size + size) % size
+	if fwd == 0 {
+		return 0, 1
+	}
+	if 2*fwd <= size {
+		return fwd, 1
+	}
+	return size - fwd, -1
+}
+
+// Route walks x first then y, appending the departing link of every
+// router on the way; the last link lands at dst's router, and the
+// Fabric's final hop carries the packet onto dst's receive link.
+func (t *torus) Route(src, dst NodeID, buf []int) []int {
+	x, y := int(src)%t.w, int(src)/t.w
+	xd, yd := int(dst)%t.w, int(dst)/t.w
+	steps, dir := torusStep(x, xd, t.w)
+	for i := 0; i < steps; i++ {
+		if dir > 0 {
+			buf = append(buf, t.link(x, y, torusXPos))
+			x = (x + 1) % t.w
+		} else {
+			buf = append(buf, t.link(x, y, torusXNeg))
+			x = (x - 1 + t.w) % t.w
+		}
+	}
+	steps, dir = torusStep(y, yd, t.h)
+	for i := 0; i < steps; i++ {
+		if dir > 0 {
+			buf = append(buf, t.link(x, y, torusYPos))
+			y = (y + 1) % t.h
+		} else {
+			buf = append(buf, t.link(x, y, torusYNeg))
+			y = (y - 1 + t.h) % t.h
+		}
+	}
+	return buf
+}
+
+// CombineTree embeds a spanning tree in the torus, rooted at node 0's
+// router: each router's parent is its dimension-order next hop toward
+// the root, so the combine path follows the same links a packet to
+// node 0 would.
+func (t *torus) CombineTree() CombineTree {
+	parent := make([]int, t.w*t.h)
+	for p := range parent {
+		x, y := p%t.w, p/t.w
+		if x == 0 && y == 0 {
+			parent[p] = -1
+			continue
+		}
+		if steps, dir := torusStep(x, 0, t.w); steps > 0 {
+			parent[p] = y*t.w + ((x+dir)%t.w+t.w)%t.w
+			continue
+		}
+		_, dir := torusStep(y, 0, t.h)
+		parent[p] = (((y+dir)%t.h+t.h)%t.h)*t.w + x
+	}
+	sw := make([]int, t.hosts)
+	for h := range sw {
+		sw[h] = h // router p hosts node p, row-major
+	}
+	return CombineTree{Parent: parent, SwitchOf: sw}
+}

@@ -21,6 +21,9 @@ type Metric struct {
 	// Sum is the histogram observation sum (duration metrics: total
 	// virtual ns).
 	Sum int64 `json:"sum,omitempty"`
+	// Max is the largest observation of a histogram (omitted while
+	// empty). Quantile clamps its bucket-bound estimates to it.
+	Max int64 `json:"max,omitempty"`
 	// Buckets are cumulative-free per-bucket counts; Le is the bucket's
 	// inclusive upper bound, with the final bucket's Le = -1 standing
 	// for +Inf. Zero buckets are kept: the layout is part of the
@@ -37,10 +40,13 @@ type Bucket struct {
 // Quantile reports the q-th percentile (0 < q ≤ 100) of a histogram
 // metric as the upper bound of the bucket holding that rank — the
 // standard fixed-bucket estimate, deterministic because the layouts
-// are. An observation that landed in the +Inf bucket reports
-// math.MaxInt64. ok is false when the metric is not a histogram, has no
-// observations, or q is out of range; scenario assertions surface that
-// as "unknown" rather than pass/fail (docs/SCENARIOS.md).
+// are — clamped to the largest value actually observed: a bucket bound
+// is an estimate, Max is a fact, and an estimate above the true
+// maximum (or MaxInt64 from the +Inf bucket) would fail p-quantile
+// assertions no observation justifies. ok is false when the metric is
+// not a histogram, has no observations, or q is out of range; scenario
+// assertions surface that as "unknown" rather than pass/fail
+// (docs/SCENARIOS.md).
 func (m Metric) Quantile(q float64) (v int64, ok bool) {
 	if m.Type != "histogram" || m.Value <= 0 || q <= 0 || q > 100 {
 		return 0, false
@@ -51,13 +57,13 @@ func (m Metric) Quantile(q float64) (v int64, ok bool) {
 	for _, b := range m.Buckets {
 		seen += b.N
 		if seen >= rank {
-			if b.Le < 0 {
-				return math.MaxInt64, true
+			if b.Le < 0 || b.Le > m.Max {
+				return m.Max, true
 			}
 			return b.Le, true
 		}
 	}
-	return math.MaxInt64, true
+	return m.Max, true
 }
 
 // Snapshot runs the OnSample hooks, then returns every metric sorted by
@@ -78,7 +84,7 @@ func (r *Registry) Snapshot() []Metric {
 	}
 	for _, h := range r.hists {
 		m := Metric{Name: h.name, Type: "histogram", Value: h.n, Sum: h.sum,
-			Buckets: make([]Bucket, len(h.counts))}
+			Max: h.Max(), Buckets: make([]Bucket, len(h.counts))}
 		for i, n := range h.counts {
 			le := int64(-1)
 			if i < len(h.bounds) {

@@ -15,6 +15,7 @@ type Histogram struct {
 	counts []int64
 	n      int64
 	sum    int64
+	max    int64 // largest observation; meaningful only when n > 0
 }
 
 // Histogram creates and registers a histogram with the given ascending
@@ -55,9 +56,22 @@ func (h *Histogram) Observe(v int64) {
 			hi = mid
 		}
 	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
 	h.counts[lo]++
 	h.n++
 	h.sum += v
+}
+
+// Max reports the largest observation (0 on a nil or empty handle).
+// Quantile estimates clamp to it: a bucket upper bound is an estimate,
+// the maximum is a fact.
+func (h *Histogram) Max() int64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.max
 }
 
 // Count reports the number of observations (0 on a nil handle).

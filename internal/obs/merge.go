@@ -41,9 +41,9 @@ func Merged(srcs ...*Registry) *Registry {
 		}
 	}
 	type histAcc struct {
-		bounds []int64
-		counts []int64
-		n, sum int64
+		bounds      []int64
+		counts      []int64
+		n, sum, max int64
 	}
 	var (
 		counterOrder, gaugeOrder, histOrder []string
@@ -90,6 +90,9 @@ func Merged(srcs ...*Registry) *Registry {
 			for i, c := range h.counts {
 				acc.counts[i] += c
 			}
+			if h.n > 0 && (acc.n == 0 || h.max > acc.max) {
+				acc.max = h.max
+			}
 			acc.n += h.n
 			acc.sum += h.sum
 		}
@@ -104,7 +107,7 @@ func Merged(srcs ...*Registry) *Registry {
 		acc := hists[name]
 		h := dst.Histogram(name, acc.bounds)
 		copy(h.counts, acc.counts)
-		h.n, h.sum = acc.n, acc.sum
+		h.n, h.sum, h.max = acc.n, acc.sum, acc.max
 	}
 	mergeSpans(dst, srcs)
 	return dst

@@ -1,9 +1,6 @@
 package obs
 
-import (
-	"math"
-	"testing"
-)
+import "testing"
 
 // TestQuantile pins the fixed-bucket percentile estimate scenario
 // assertions rely on (expect m p95 <= ... — docs/SCENARIOS.md).
@@ -23,8 +20,8 @@ func TestQuantile(t *testing.T) {
 	}{
 		{50, 1},  // rank 5 of 10 → first bucket
 		{90, 1},  // rank 9 → still the first bucket
-		{95, 8},  // rank 10 → the straggler's bucket
-		{100, 8}, // p100 is the last observation
+		{95, 7},  // rank 10 → the straggler's bucket, clamped to the true max
+		{100, 7}, // p100 is the last observation — 7, not its bucket bound 8
 	}
 	for _, tc := range cases {
 		got, ok := m.Quantile(tc.q)
@@ -34,8 +31,9 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
-// TestQuantileUnknowns pins every not-ok case: wrong type, empty
-// histogram, out-of-range q, and the +Inf overflow bucket.
+// TestQuantileUnknowns pins every not-ok case — wrong type, empty
+// histogram, out-of-range q — and that the +Inf overflow bucket
+// reports the observed maximum rather than MaxInt64.
 func TestQuantileUnknowns(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("q.count").Add(5)
@@ -57,8 +55,46 @@ func TestQuantileUnknowns(t *testing.T) {
 		}
 	}
 	got, ok := m.Quantile(50)
-	if !ok || got != math.MaxInt64 {
-		t.Fatalf("overflow-bucket quantile = %d (ok=%v), want MaxInt64", got, ok)
+	if !ok || got != 1<<30 {
+		t.Fatalf("overflow-bucket quantile = %d (ok=%v), want the observed max %d", got, ok, int64(1<<30))
+	}
+}
+
+// TestQuantileClampsToObservedMax is the regression for the boundary
+// bug: a quantile whose rank lands in a partially-filled bucket used to
+// report the bucket's upper bound even when that exceeds the largest
+// value ever observed — "p100 = 8" for a histogram whose only
+// observation is 7, and MaxInt64 for anything in the overflow bucket.
+// A fixed-bucket estimate may be coarse, but it must never exceed the
+// true maximum.
+func TestQuantileClampsToObservedMax(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.clamp", DepthBuckets) // bounds 1,2,4,8,...
+	h.Observe(7)                              // lands in the ≤8 bucket
+	m := findMetric(t, r, "q.clamp")
+	for _, q := range []float64{50, 100} {
+		got, ok := m.Quantile(q)
+		if !ok || got != 7 {
+			t.Fatalf("p%g = %d (ok=%v), want the true max 7", q, got, ok)
+		}
+	}
+
+	over := r.Histogram("q.clamp.over", DepthBuckets)
+	over.Observe(1 << 30) // overflow bucket
+	mo := findMetric(t, r, "q.clamp.over")
+	got, ok := mo.Quantile(100)
+	if !ok || got != 1<<30 {
+		t.Fatalf("overflow p100 = %d (ok=%v), want the true max %d", got, ok, int64(1<<30))
+	}
+
+	// Values below a bucket bound but above the observed max in that
+	// bucket: 3 lands in ≤4; p100 must say 3.
+	low := r.Histogram("q.clamp.low", DepthBuckets)
+	low.Observe(1)
+	low.Observe(3)
+	ml := findMetric(t, r, "q.clamp.low")
+	if got, ok := ml.Quantile(100); !ok || got != 3 {
+		t.Fatalf("p100 = %d (ok=%v), want 3", got, ok)
 	}
 }
 

@@ -257,6 +257,24 @@ func (ep *Endpoint) ID() netsim.NodeID { return ep.id }
 // Config returns the endpoint's configuration.
 func (ep *Endpoint) Config() Config { return ep.cfg }
 
+// Fabric returns the fabric the endpoint is bound to. Protocol layers
+// that bypass the AM reliability machinery (the in-network collective
+// plane) use it to reach the topology and charge link occupancy with
+// the endpoint's cost model.
+func (ep *Endpoint) Fabric() *netsim.Fabric { return ep.fab }
+
+// ChargeSend charges the per-message sender CPU cost (o + bytes*G_cpu)
+// without queueing a packet. Used by layers that model their own wire
+// path but keep the endpoint's LogP overhead accounting.
+func (ep *Endpoint) ChargeSend(p *sim.Proc, payloadBytes int) {
+	ep.chargeCPU(p, ep.cfg.SendOverhead+sim.Duration(payloadBytes)*ep.cfg.SendPerByte)
+}
+
+// ChargeRecv is ChargeSend's receive-side counterpart.
+func (ep *Endpoint) ChargeRecv(p *sim.Proc, payloadBytes int) {
+	ep.chargeCPU(p, ep.cfg.RecvOverhead+sim.Duration(payloadBytes)*ep.cfg.RecvPerByte)
+}
+
 // Register installs h for id. Re-registering replaces the handler.
 func (ep *Endpoint) Register(id HandlerID, h Handler) {
 	ep.handlers[id] = h

@@ -19,7 +19,7 @@ import (
 //	scenario <name>
 //	seed <int>
 //	horizon <dur>
-//	fleet ws <n> [policy=<migrate|restart|ignore>] [heartbeat=<dur>] [fabric=<preset>]
+//	fleet ws <n> [policy=<migrate|restart|ignore>] [heartbeat=<dur>] [fabric=<preset>] [topo=<crossbar|fattree|torus>]
 //	fleet xfs <nodes> [spares=<n>] [managers=<n>] [cache=<blocks>] [block=<bytes>] [pipelined]
 //	fleet shards <parts> [rounds=<n>] [barriers=<n>]
 //	at <t> <fault line>                      # any docs/FAULTS.md grammar line
@@ -218,6 +218,8 @@ func (s *Scenario) parseFleet(kind, size string, opts []string) error {
 				s.Fleet.Heartbeat = d
 			case "fabric":
 				s.Fleet.FabricName = v
+			case "topo":
+				s.Fleet.Topo = v
 			default:
 				return fmt.Errorf("fleet ws: unknown option %q", k)
 			}

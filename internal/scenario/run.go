@@ -295,6 +295,17 @@ func runClassic(s *Scenario) (*Result, error) {
 		case "myrinet":
 			gcfg.Fabric = netsim.Myrinet
 		}
+		if topoName := s.Fleet.Topo; topoName != "" {
+			// Problems() already validated the name and ruled out shared
+			// presets; "crossbar" resolves to a nil Topology, leaving the
+			// config bit-identical to the flat default.
+			base := gcfg.Fabric
+			gcfg.Fabric = func(nodes int) netsim.Config {
+				c := base(nodes)
+				c.Topo, _ = netsim.TopoByName(topoName, nodes)
+				return c
+			}
+		}
 		jobs := expandJobs(s, horizon)
 		res.JobsTotal = len(jobs)
 		scheduleChecks(s, e, reg, sm, res)

@@ -204,3 +204,46 @@ expect net.cross.sent > 0 at end
 		t.Fatalf("report depends on worker count:\n--- w1 ---\n%s--- w4 ---\n%s", r1, r4)
 	}
 }
+
+// TestRunTopologyFleet runs the tiny story on a fat-tree Myrinet
+// fabric: the topo= option must thread through to the fabric (the
+// net.topo.* histograms only exist on topology fabrics) and keep the
+// run deterministic.
+func TestRunTopologyFleet(t *testing.T) {
+	in := strings.Replace(tinyScenario, "fleet ws 4", "fleet ws 4 fabric=myrinet topo=fattree", 1)
+	run := func() (string, []byte) {
+		res, err := Run(mustParse(t, in), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Registry.WriteMetricsJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res.Report(), buf.Bytes()
+	}
+	r1, m1 := run()
+	r2, m2 := run()
+	if r1 != r2 {
+		t.Fatalf("reports differ:\n--- 1 ---\n%s--- 2 ---\n%s", r1, r2)
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("metrics exports differ")
+	}
+	if !bytes.Contains(m1, []byte(`"net.topo.hops"`)) {
+		t.Fatal("topology fleet did not register net.topo.hops")
+	}
+	// The same story on the flat default must NOT grow topology rows —
+	// that is what keeps pre-topology goldens byte-identical.
+	flat, err := Run(mustParse(t, tinyScenario), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb bytes.Buffer
+	if err := flat.Registry.WriteMetricsJSON(&fb); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(fb.Bytes(), []byte(`"net.topo.hops"`)) {
+		t.Fatal("flat fleet registered net.topo.hops")
+	}
+}

@@ -78,6 +78,11 @@ type Fleet struct {
 	// FabricName picks the cluster fabric preset: "ethernet10",
 	// "atm155" (default), "fddi100" or "myrinet".
 	FabricName string
+	// Topo plugs a switch topology into a switched fabric: "crossbar"
+	// (the flat default), "fattree" or "torus". Shared-medium presets
+	// (ethernet10, fddi100) take no topology, and sharded fleets run
+	// flat (netsim rejects sharding a topology).
+	Topo string
 	// XFS declares a serverless file system sharing the engine.
 	XFS *XFSFleet
 	// Shards switches the scenario to the sharded multicore engine.
@@ -276,6 +281,14 @@ type Expect struct {
 // fabricPresets names the netsim presets a fleet line may pick.
 var fabricPresets = []string{"ethernet10", "atm155", "fddi100", "myrinet"}
 
+// sharedPresets are the shared-medium subset: no switch structure to
+// plug a topology into.
+var sharedPresets = []string{"ethernet10", "fddi100"}
+
+// topoNames names the switch topologies a fleet line may pick
+// (netsim.TopoByName).
+var topoNames = []string{"crossbar", "fattree", "torus"}
+
 // policies names the GLUnix user-return policies.
 var policies = []string{"migrate", "restart", "ignore"}
 
@@ -313,6 +326,9 @@ func (s *Scenario) String() string {
 		}
 		if s.Fleet.FabricName != "" {
 			fmt.Fprintf(&b, " fabric=%s", s.Fleet.FabricName)
+		}
+		if s.Fleet.Topo != "" {
+			fmt.Fprintf(&b, " topo=%s", s.Fleet.Topo)
 		}
 		b.WriteByte('\n')
 	}
@@ -500,6 +516,17 @@ func (s *Scenario) Problems() []Problem {
 	}
 	if fl.FabricName != "" && !contains(fabricPresets, fl.FabricName) {
 		add(0, "scenario %s: unknown fabric %q (want %s)", s.Name, fl.FabricName, strings.Join(fabricPresets, ", "))
+	}
+	if fl.Topo != "" {
+		if !contains(topoNames, fl.Topo) {
+			add(0, "scenario %s: unknown topo %q (want %s)", s.Name, fl.Topo, strings.Join(topoNames, ", "))
+		}
+		if contains(sharedPresets, fl.FabricName) {
+			add(0, "scenario %s: topo=%s needs a switched fabric, %s is a shared medium", s.Name, fl.Topo, fl.FabricName)
+		}
+		if fl.Topo != "crossbar" && fl.Shards != nil {
+			add(0, "scenario %s: topo=%s cannot combine with fleet shards (topologies run single-engine)", s.Name, fl.Topo)
+		}
 	}
 	if x := fl.XFS; x != nil {
 		if x.Nodes-x.Spares < 3 {

@@ -13,7 +13,7 @@ import (
 const sampleScenario = `scenario kitchen-sink
 seed 7
 horizon 7200s
-fleet ws 16 policy=restart heartbeat=2s fabric=myrinet
+fleet ws 16 policy=restart heartbeat=2s fabric=myrinet topo=fattree
 fleet xfs 10 spares=2 managers=2 cache=32 block=4096 pipelined
 at 0s diurnal days=1
 at 0s remediate on
@@ -171,6 +171,9 @@ func TestValidateRejections(t *testing.T) {
 		{"cordon out of range", "scenario x\nhorizon 1h\nfleet ws 4\nat 5s cordon 9\n", "outside workstations 1..4"},
 		{"drain master", "scenario x\nhorizon 1h\nfleet ws 4\nat 5s drain 0\n", "outside workstations 1..4"},
 		{"remediate without ws", "scenario x\nhorizon 1h\nfleet xfs 4\nat 5s remediate on\n", "needs a 'fleet ws'"},
+		{"unknown topo", "scenario x\nhorizon 1h\nfleet ws 4 topo=hypercube\n", "unknown topo"},
+		{"topo on shared medium", "scenario x\nhorizon 1h\nfleet ws 4 fabric=ethernet10 topo=torus\n", "shared medium"},
+		{"topo with shards", "scenario x\nfleet ws 8 topo=fattree\nfleet shards 4\n", "cannot combine with fleet shards"},
 	}
 	for _, tc := range cases {
 		_, err := Parse(strings.NewReader(tc.in))

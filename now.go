@@ -147,6 +147,24 @@ var (
 	Myrinet    = netsim.Myrinet
 )
 
+// Topology plugs a switch structure (fat-tree, torus) into a switched
+// fabric via FabricConfig.Topo; CombineTree is the switch hierarchy
+// the in-network collective plane combines over.
+type (
+	Topology    = netsim.Topology
+	CombineTree = netsim.CombineTree
+)
+
+// Topology constructors. TopoByName resolves the scenario/CLI names
+// ("crossbar", "fattree", "torus"); "crossbar" is the flat default and
+// returns a nil Topology.
+var (
+	NewFatTree    = netsim.NewFatTree
+	NewTorus      = netsim.NewTorus
+	TopoByName    = netsim.TopoByName
+	CombineTreeOf = netsim.CombineTreeOf
+)
+
 // NewFabric builds a network on e.
 func NewFabric(e *Engine, cfg FabricConfig) (*Fabric, error) { return netsim.New(e, cfg) }
 
@@ -293,6 +311,17 @@ var (
 	DefaultCollectiveConfig = collective.DefaultConfig
 	NewComm                 = collective.New
 )
+
+// InNet executes barrier/broadcast/reduce inside the fabric's switches
+// (SHARP-style combining over the topology's CombineTree) instead of a
+// software tree of endpoint messages.
+type (
+	InNet       = collective.InNet
+	InNetConfig = collective.InNetConfig
+)
+
+// NewInNet builds the in-network collective plane over c's fabric.
+var NewInNet = collective.NewInNet
 
 // Barrier blocks rank until every rank of c has arrived.
 func Barrier(p *Proc, c *Comm, rank int) error { return c.Barrier(p, rank) }

@@ -40,6 +40,10 @@ go test -count=1 -run 'TestSeqScanGoldenDeterminism' ./cmd/nowbench/ >/dev/null
 echo "== self-healing golden determinism (AV2 byte-identical, remediation on beats off)"
 go test -count=1 -run 'TestRemediationGoldenDeterminism' ./cmd/nowbench/ >/dev/null
 go test -count=1 -run 'TestRemediationStudyImproves' ./internal/experiments/ >/dev/null
+echo "== topology study golden determinism (SC3 byte-identical, fabric conservation under loss)"
+go test -count=1 -run 'TestTopologyStudyGoldenDeterminism' ./cmd/nowbench/ >/dev/null
+go test -count=1 -run 'TestTopologyLatencyAndContention|TestShardedLossInvariant' ./internal/netsim/ >/dev/null
+go test -count=1 -run 'TestInNetValuesAcrossTopologies|TestEpochIsolationUnderRetryChurn' ./internal/proto/collective/ >/dev/null
 echo "== cross-shard golden determinism (nowsim -shards 1/2/4/8 byte-identical)"
 go test -count=1 -run 'TestShardedRunGoldenDeterminism' ./cmd/nowsim/ >/dev/null
 go test -count=1 -run 'TestShardedTrafficDeterministicAcrossWorkers' ./internal/experiments/ >/dev/null
@@ -53,6 +57,6 @@ for scn in examples/scenarios/*.scn; do
   go run ./cmd/nowsim run "$scn" | diff -u "$golden" - \
     || { echo "scenario report drifted from $golden" >&2; exit 1; }
 done
-go test -count=1 -run 'TestScenarioRunGoldenDeterminism|TestScenarioShardedWorkerInvariance' ./cmd/nowsim/ >/dev/null
+go test -count=1 -run 'TestScenarioRunGoldenDeterminism|TestScenarioShardedWorkerInvariance|TestOperatorScenarioShardsInvariance' ./cmd/nowsim/ >/dev/null
 go test -count=1 -run 'TestParsePrintIdentity|TestRunDeterminism' ./internal/scenario/ >/dev/null
 echo "verify: all checks passed"
