@@ -14,8 +14,9 @@
 // study AV1 (docs/FAULTS.md), the collective scale study SC1, the
 // sharded-engine throughput study SC2 (DESIGN.md §10; -shards pins its
 // worker count), the topology study SC3 (crossbar vs fat-tree vs torus,
-// software tree vs in-network combining; DESIGN.md §13), and the xFS
-// sequential-scan pipelining study ST2.
+// software tree vs in-network combining; DESIGN.md §13), the xFS
+// sequential-scan pipelining study ST2, and the wide-area federation
+// study WA1 (cross-cluster caching vs home re-fetch; DESIGN.md §14).
 package main
 
 import (
@@ -178,6 +179,14 @@ func run(args []string) error {
 				cfg.Sizes = []int{8, 32}
 			}
 			r, _, err := experiments.SeqScan(cfg)
+			return r, err
+		}},
+		{"WA1", func() (experiments.Report, error) {
+			cfg := experiments.DefaultWideAreaConfig()
+			if *quick {
+				cfg = experiments.QuickWideAreaConfig()
+			}
+			r, _, _, err := experiments.WideAreaStudy(cfg)
 			return r, err
 		}},
 	}

@@ -175,6 +175,48 @@ func TestRemediationGoldenDeterminism(t *testing.T) {
 	}
 }
 
+// TestWideAreaGoldenDeterminism is the WA1 golden: the wide-area
+// federation study — two clusters over a sharded engine, lease warmups,
+// WAN RPC and all — run twice through the full CLI path with metrics
+// export, must produce byte-identical report JSON and metrics files.
+func TestWideAreaGoldenDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(n string) ([]byte, []byte) {
+		mpath := filepath.Join(dir, "wa"+n+".json")
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		runErr := run([]string{"-json", "-quick", "-only", "WA1", "-metrics", mpath})
+		w.Close()
+		os.Stdout = old
+		raw, _ := io.ReadAll(r)
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		mb, err := os.ReadFile(mpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, mb
+	}
+	r1, m1 := runOnce("1")
+	r2, m2 := runOnce("2")
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("WA1 report JSON is not byte-deterministic")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("WA1 metrics export is not byte-deterministic")
+	}
+	for _, want := range []string{`"fed.lease.grants"`, `"fed.cache.hits"`, `"fed.fetch.remote"`, `"wan.sent"`, `"wan.bytes"`} {
+		if !bytes.Contains(m1, []byte(want)) {
+			t.Fatalf("WA1 metrics missing %s:\n%.300s", want, m1)
+		}
+	}
+}
+
 func TestRunUnknownFlag(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("unknown flag accepted")

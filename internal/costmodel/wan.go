@@ -1,0 +1,76 @@
+// Wide-area closed forms: the analytic side of the federation's two
+// decisions — when does shipping a job across the WAN beat the local
+// queue, and when does lease-warmed caching beat per-read re-fetch from
+// the home cluster. The WA1 study measures the simulated system against
+// FedCrossoverLatencyNs; the spill-over placer evaluates
+// SpillRemoteCostNs against SpillLocalWaitNs on every submit.
+//
+// All times are nanoseconds as float64, matching the package's unitless
+// closed-form style; callers convert to sim durations at the boundary.
+package costmodel
+
+// WANTransferNs is the serialization time of n bytes on a WAN pipe of
+// the given bit rate.
+func WANTransferNs(bytes int64, mbps float64) float64 {
+	if mbps <= 0 || bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8e3 / mbps // bytes*8 / (mbps*1e6) s → ns
+}
+
+// SpillRemoteCostNs prices migrating a gang of nprocs processes with
+// the given memory image each over the WAN, plus the federated-cache
+// warmup the job pays before its working set is local again.
+func SpillRemoteCostNs(imageBytes int64, nprocs int, mbps, latencyNs, warmupNs float64) float64 {
+	if nprocs < 1 {
+		nprocs = 1
+	}
+	return WANTransferNs(imageBytes*int64(nprocs), mbps) + 2*latencyNs + warmupNs
+}
+
+// SpillLocalWaitNs estimates the local queue delay of a job behind
+// queued jobs of roughly workNs each — the deliberately crude FCFS
+// estimate the placer compares the WAN cost against (the master runs
+// one job per idle set at a time, so a queue of q means waiting out
+// about q service times).
+func SpillLocalWaitNs(queueLen int, workNs float64) float64 {
+	if queueLen < 0 {
+		queueLen = 0
+	}
+	return float64(queueLen) * workNs
+}
+
+// FedRefetchNs is the cost of `reads` remote block reads without the
+// cache tier: every read pays the round trip plus one block
+// serialization plus the per-call overhead.
+func FedRefetchNs(reads int, rttNs, blockSerNs, overheadNs float64) float64 {
+	return float64(reads) * (rttNs + blockSerNs + overheadNs)
+}
+
+// FedCachedNs is the cost of the same reads through the lease tier: one
+// grant round trip that ships warmBlocks blocks (bandwidth-bound,
+// latency-independent), then every read served at local-copy cost.
+func FedCachedNs(reads, warmBlocks int, rttNs, blockSerNs, overheadNs, localCopyNs float64) float64 {
+	return rttNs + float64(warmBlocks)*blockSerNs + overheadNs + float64(reads)*localCopyNs
+}
+
+// FedCrossoverLatencyNs solves FedCachedNs = FedRefetchNs for the
+// one-way WAN latency (rtt = 2·lat): the latency above which warming
+// the whole file beats re-fetching every read from home. reads is the
+// total number of block reads the workload issues against the file
+// (reuse included); warmBlocks is what the grant ships. Returns 0 when
+// caching wins at any latency, +Inf when it never does (reads ≤ 1).
+func FedCrossoverLatencyNs(reads, warmBlocks int, blockSerNs, overheadNs, localCopyNs float64) float64 {
+	if reads <= 1 {
+		return inf()
+	}
+	num := float64(warmBlocks)*blockSerNs + overheadNs + float64(reads)*localCopyNs -
+		float64(reads)*(blockSerNs+overheadNs)
+	lat := num / (2 * float64(reads-1))
+	if lat < 0 {
+		return 0
+	}
+	return lat
+}
+
+func inf() float64 { return 1e300 }

@@ -40,15 +40,15 @@ type Target interface {
 // adapters that cover a subset of fault classes.
 type BaseTarget struct{}
 
-func (BaseTarget) CrashNode(int) bool                                { return false }
-func (BaseTarget) RecoverNode(int) bool                              { return false }
-func (BaseTarget) PartitionNodes([]int) bool                         { return false }
-func (BaseTarget) Heal() bool                                        { return false }
-func (BaseTarget) LinkFault(int, int, float64, sim.Duration) bool    { return false }
-func (BaseTarget) LinkClear(int, int) bool                           { return false }
-func (BaseTarget) FailDisk(int) bool                                 { return false }
-func (BaseTarget) RebuildDisk(*sim.Proc, int, int) (bool, error)     { return false, nil }
-func (BaseTarget) KillManager(*sim.Proc, int) bool                   { return false }
+func (BaseTarget) CrashNode(int) bool                             { return false }
+func (BaseTarget) RecoverNode(int) bool                           { return false }
+func (BaseTarget) PartitionNodes([]int) bool                      { return false }
+func (BaseTarget) Heal() bool                                     { return false }
+func (BaseTarget) LinkFault(int, int, float64, sim.Duration) bool { return false }
+func (BaseTarget) LinkClear(int, int) bool                        { return false }
+func (BaseTarget) FailDisk(int) bool                              { return false }
+func (BaseTarget) RebuildDisk(*sim.Proc, int, int) (bool, error)  { return false, nil }
+func (BaseTarget) KillManager(*sim.Proc, int) bool                { return false }
 
 // ClusterTarget wires node and network faults to a GLUnix cluster and
 // its fabric. Node ids are fabric NodeIDs; node 0 hosts the master and

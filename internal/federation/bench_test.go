@@ -1,0 +1,99 @@
+package federation
+
+import (
+	"testing"
+
+	"github.com/nowproject/now/internal/sim"
+	"github.com/nowproject/now/internal/xfs"
+)
+
+// BenchmarkWANLeaseRecall measures one full conflicting-write cycle:
+// remote write (lease grant with warmup) → home write (recall, dirty
+// write-back through the barrier). Reports virtual µs per recall cycle
+// alongside the wall-clock figure.
+func BenchmarkWANLeaseRecall(b *testing.B) {
+	const cycles = 16
+	run := func() sim.Duration {
+		f, err := New(Config{
+			Clusters: []ClusterConfig{
+				{Name: "home", XFSNodes: 6},
+				{Name: "away", XFSNodes: 6},
+			},
+			WAN:   WANConfig{Latency: 2 * sim.Millisecond, BandwidthMbps: 45},
+			FedFS: FSConfig{FileBlocks: 4, CacheBlocks: 64},
+			Seed:  1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		home, away := f.Cluster(0), f.Cluster(1)
+		const file = xfs.FileID(2) // homed at cluster 0
+		blk := make([]byte, 8192)
+		var elapsed sim.Duration
+		away.Engine().Spawn("away", func(p *sim.Proc) {
+			for r := 0; r < cycles; r++ {
+				p.Sleep(10 * sim.Millisecond)
+				if err := away.FedFS().Write(p, file, 0, blk); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		home.Engine().Spawn("home", func(p *sim.Proc) {
+			t0 := p.Now()
+			for r := 0; r < cycles; r++ {
+				p.Sleep(10 * sim.Millisecond)
+				if err := home.FedFS().Write(p, file, 0, blk); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			elapsed = sim.Duration(p.Now() - t0)
+		})
+		if err := f.Run(sim.Time(30 * sim.Second)); err != nil {
+			b.Fatal(err)
+		}
+		return elapsed
+	}
+	var virt sim.Duration
+	for i := 0; i < b.N; i++ {
+		virt = run()
+	}
+	b.ReportMetric(virt.Microseconds()/cycles, "virtual-µs/recall-cycle")
+}
+
+// BenchmarkSpillPlacement measures the placement decision itself — the
+// gossip-table scan plus the cost-model comparison — at federation
+// scale (8 peers), the event-callback cost every Submit pays.
+func BenchmarkSpillPlacement(b *testing.B) {
+	clusters := make([]ClusterConfig, 8)
+	for i := range clusters {
+		clusters[i] = ClusterConfig{Workstations: 4}
+	}
+	f, err := New(Config{
+		Clusters: clusters,
+		WAN:      WANConfig{Latency: 5 * sim.Millisecond, BandwidthMbps: 45},
+		Spill:    SpillConfig{Policy: SpillCostAware, StartEnabled: true},
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	sp := f.Cluster(0).sp
+	for i := 1; i < len(clusters); i++ {
+		sp.peers[i] = peerState{idle: 4 + i%3, queue: i % 4}
+	}
+	// A deep local queue: the cost-aware branch must actually compare.
+	for i := 0; i < 6; i++ {
+		f.Cluster(0).GL.Master.Submit(mkJob(100+i, 4, sim.Hour))
+	}
+	spec := JobSpec{ID: 1, NProcs: 6, Work: sim.Hour}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := sp.pick(spec); !ok {
+			b.Fatal("no candidate")
+		}
+	}
+}

@@ -1,0 +1,524 @@
+// Hierarchical xFS: the cross-cluster cooperative-cache tier.
+//
+// Every file has one home cluster (HomeOf: FileID mod the xfs-bearing
+// members) whose xFS managers stay authoritative — all storage lives
+// there, and every cross-cluster byte eventually lands there. Remote
+// clusters cache through WRITE-BACK LEASES:
+//
+//   - A read lease is granted with a whole-file warmup: the grant reply
+//     carries up to FileBlocks blocks, so the warmup cost is
+//     bandwidth-bound and latency-independent — the term that makes
+//     caching beat per-read re-fetch once WAN latency grows (the WA1
+//     study sweeps exactly this trade).
+//   - A write lease makes the holder's writes local: dirty blocks
+//     accumulate at the holder and flow home on Sync or recall.
+//   - RECALL-BEFORE-CONFLICTING-WRITE: before the home grants a write
+//     lease (or serves a home-local write), it recalls every other
+//     holder's lease; recall replies carry the holder's dirty blocks,
+//     which the home writes through its own xFS client before the new
+//     grant proceeds. The home never exposes data that bypasses a
+//     live remote writer.
+//
+// Locking: the home serializes conflicting grant/recall/fetch sequences
+// per file with a cooperative busy-lock. Holders never block in the
+// recall handler (invalidate + hand over dirty state synchronously), so
+// the home→holder call graph is acyclic and deadlock-free even when the
+// holder is itself blocked on a lease request.
+package federation
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/nowproject/now/internal/lru"
+	"github.com/nowproject/now/internal/obs"
+	"github.com/nowproject/now/internal/sim"
+	"github.com/nowproject/now/internal/xfs"
+)
+
+// FSConfig shapes the federated cache tier.
+type FSConfig struct {
+	// FileBlocks is the whole-file warmup size: a lease grant ships this
+	// many blocks (fewer if the file is shorter).
+	FileBlocks int
+	// CacheBlocks bounds each cluster's federated block cache.
+	CacheBlocks int
+	// LocalCopy is the cost of serving one block from the federated
+	// cache (a local memory copy).
+	LocalCopy sim.Duration
+	// NoCache disables the lease tier entirely: every remote read is a
+	// single-block WAN fetch from home. The WA1 baseline.
+	NoCache bool
+}
+
+func (c FSConfig) withDefaults() FSConfig {
+	if c.FileBlocks <= 0 {
+		c.FileBlocks = 64
+	}
+	if c.CacheBlocks <= 0 {
+		c.CacheBlocks = 4096
+	}
+	if c.LocalCopy <= 0 {
+		c.LocalCopy = 30 * sim.Microsecond
+	}
+	return c
+}
+
+// WAN handler ids of the federated file system (gateway namespace).
+const (
+	hLeaseRead uint8 = 0x10 + iota
+	hLeaseWrite
+	hFetchBlk
+	hRecall
+	hWriteBack
+)
+
+const (
+	leaseRead = iota + 1
+	leaseWrite
+)
+
+// ctlBytes is the wire size of a control-only request or reply.
+const ctlBytes = 32
+
+type blockKey struct {
+	f   xfs.FileID
+	blk uint32
+}
+
+type leaseReq struct{ F xfs.FileID }
+
+type fetchReq struct {
+	F   xfs.FileID
+	Blk uint32
+}
+
+type wbBlock struct {
+	Blk  uint32
+	Data []byte
+}
+
+type leaseGrant struct {
+	Mode   int
+	Blocks []wbBlock // whole-file warmup, block-id ascending
+}
+
+type writeBack struct {
+	F      xfs.FileID
+	Blocks []wbBlock
+}
+
+type clientLease struct {
+	mode  int
+	valid bool
+}
+
+// dirEntry is the home-side lease directory record for one file.
+type dirEntry struct {
+	readers map[int]bool
+	writer  int // -1 when none
+	busy    bool
+	sig     *sim.Signal
+}
+
+func (ent *dirEntry) lock(p *sim.Proc) {
+	for ent.busy {
+		ent.sig.Wait(p)
+	}
+	ent.busy = true
+}
+
+func (ent *dirEntry) unlock() {
+	ent.busy = false
+	ent.sig.Broadcast()
+}
+
+type fedfsMetrics struct {
+	grants, recalls, wbBlocks    *obs.Counter
+	hits, misses, fetches, syncs *obs.Counter
+}
+
+// FedFS is one cluster's view of the federated file system: the client
+// tier (lease cache) plus, for files homed here, the authoritative
+// lease directory.
+type FedFS struct {
+	c   *Cluster
+	cfg FSConfig
+	m   fedfsMetrics
+
+	// client side
+	leases map[xfs.FileID]*clientLease
+	cache  *lru.Cache[blockKey, []byte]
+	dirty  map[xfs.FileID]map[uint32][]byte
+
+	// home side
+	dir map[xfs.FileID]*dirEntry
+}
+
+func newFedFS(c *Cluster) *FedFS {
+	cfg := c.fed.cfg.FedFS
+	fs := &FedFS{
+		c:      c,
+		cfg:    cfg,
+		leases: map[xfs.FileID]*clientLease{},
+		cache:  lru.New[blockKey, []byte](cfg.CacheBlocks),
+		dirty:  map[xfs.FileID]map[uint32][]byte{},
+		dir:    map[xfs.FileID]*dirEntry{},
+	}
+	fs.m = fedfsMetrics{
+		grants:   c.reg.Counter("fed.lease.grants"),
+		recalls:  c.reg.Counter("fed.lease.recalls"),
+		wbBlocks: c.reg.Counter("fed.lease.writeback.blocks"),
+		hits:     c.reg.Counter("fed.cache.hits"),
+		misses:   c.reg.Counter("fed.cache.misses"),
+		fetches:  c.reg.Counter("fed.fetch.remote"),
+		syncs:    c.reg.Counter("fed.sync.calls"),
+	}
+	c.gw.HandleCall(hLeaseRead, fs.onLease(leaseRead))
+	c.gw.HandleCall(hLeaseWrite, fs.onLease(leaseWrite))
+	c.gw.HandleCall(hFetchBlk, fs.onFetch)
+	c.gw.HandleCall(hRecall, fs.onRecall)
+	c.gw.HandleCall(hWriteBack, fs.onWriteBack)
+	return fs
+}
+
+// HomeOf maps a file to its authoritative cluster.
+func (fs *FedFS) HomeOf(f xfs.FileID) int {
+	homes := fs.c.fed.homes
+	return homes[int(uint32(f))%len(homes)]
+}
+
+func (fs *FedFS) local() *xfs.Client { return fs.c.FS.Client(0) }
+
+// grantBytes is the reply-size budget of a lease grant from home h: the
+// whole-file warmup plus framing.
+func (fs *FedFS) grantBytes(h int) int {
+	return fs.cfg.FileBlocks*fs.c.fed.blkBytes[h] + ctlBytes
+}
+
+// Read returns one block of f, wherever it lives: the home cluster's
+// xFS directly when f is homed here, the federated cache (lease + warm
+// blocks) otherwise.
+func (fs *FedFS) Read(p *sim.Proc, f xfs.FileID, blk uint32) ([]byte, error) {
+	home := fs.HomeOf(f)
+	if home == fs.c.id {
+		fs.recallForLocal(p, f, false)
+		return fs.local().Read(p, f, blk)
+	}
+	if fs.cfg.NoCache {
+		fs.m.fetches.Inc()
+		rep, err := fs.c.gw.Call(p, home, hFetchBlk, fetchReq{F: f, Blk: blk}, ctlBytes,
+			fs.c.fed.blkBytes[home]+ctlBytes)
+		if err != nil {
+			return nil, err
+		}
+		return fs.asBlock(rep)
+	}
+	key := blockKey{f, blk}
+	for try := 0; ; try++ {
+		if lz := fs.leases[f]; lz != nil && lz.valid {
+			if data, ok := fs.cache.Get(key); ok {
+				fs.m.hits.Inc()
+				p.Sleep(fs.cfg.LocalCopy)
+				return append([]byte(nil), data...), nil
+			}
+			// Valid lease, block cold (beyond the warmup or evicted):
+			// single-block fetch under the standing lease.
+			fs.m.misses.Inc()
+			fs.m.fetches.Inc()
+			rep, err := fs.c.gw.Call(p, home, hFetchBlk, fetchReq{F: f, Blk: blk}, ctlBytes,
+				fs.c.fed.blkBytes[home]+ctlBytes)
+			if err != nil {
+				return nil, err
+			}
+			data, err := fs.asBlock(rep)
+			if err != nil {
+				return nil, err
+			}
+			fs.cache.Put(key, append([]byte(nil), data...))
+			return data, nil
+		}
+		if try >= 3 {
+			return nil, fmt.Errorf("federation: read %d/%d: lease churn, giving up", f, blk)
+		}
+		fs.m.misses.Inc()
+		if err := fs.acquire(p, f, leaseRead); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Write stores one block of f. Remote writers need a write lease — the
+// home recalls every conflicting holder before granting it — after
+// which writes are local and dirty until Sync or recall.
+func (fs *FedFS) Write(p *sim.Proc, f xfs.FileID, blk uint32, data []byte) error {
+	home := fs.HomeOf(f)
+	if home == fs.c.id {
+		fs.recallForLocal(p, f, true)
+		return fs.local().Write(p, f, blk, data)
+	}
+	for try := 0; ; try++ {
+		if lz := fs.leases[f]; lz != nil && lz.valid && lz.mode == leaseWrite {
+			p.Sleep(fs.cfg.LocalCopy)
+			cp := append([]byte(nil), data...)
+			fs.cache.Put(blockKey{f, blk}, cp)
+			d := fs.dirty[f]
+			if d == nil {
+				d = map[uint32][]byte{}
+				fs.dirty[f] = d
+			}
+			d[blk] = cp
+			return nil
+		}
+		if try >= 3 {
+			return fmt.Errorf("federation: write %d/%d: lease churn, giving up", f, blk)
+		}
+		if err := fs.acquire(p, f, leaseWrite); err != nil {
+			return err
+		}
+	}
+}
+
+// Sync writes every dirty block back to its home cluster.
+func (fs *FedFS) Sync(p *sim.Proc) error {
+	files := make([]xfs.FileID, 0, len(fs.dirty))
+	for f := range fs.dirty {
+		files = append(files, f)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
+	for _, f := range files {
+		wb := writeBack{F: f, Blocks: fs.takeDirty(f)}
+		if len(wb.Blocks) == 0 {
+			continue
+		}
+		fs.m.syncs.Inc()
+		n := 0
+		for _, b := range wb.Blocks {
+			n += len(b.Data)
+		}
+		if _, err := fs.c.gw.Call(p, fs.HomeOf(f), hWriteBack, wb, n+ctlBytes, ctlBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// acquire asks f's home for a lease; the grant's warm blocks land in
+// the federated cache.
+func (fs *FedFS) acquire(p *sim.Proc, f xfs.FileID, mode int) error {
+	h := hLeaseRead
+	if mode == leaseWrite {
+		h = hLeaseWrite
+	}
+	home := fs.HomeOf(f)
+	rep, err := fs.c.gw.Call(p, home, h, leaseReq{F: f}, ctlBytes, fs.grantBytes(home))
+	if err != nil {
+		return err
+	}
+	g, ok := rep.(leaseGrant)
+	if !ok {
+		return fmt.Errorf("federation: bad lease grant %T", rep)
+	}
+	for _, b := range g.Blocks {
+		fs.cache.Put(blockKey{f, b.Blk}, b.Data)
+	}
+	fs.leases[f] = &clientLease{mode: g.Mode, valid: true}
+	return nil
+}
+
+func (fs *FedFS) asBlock(rep any) ([]byte, error) {
+	data, ok := rep.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("federation: remote read failed: %v", rep)
+	}
+	return data, nil
+}
+
+// takeDirty removes and returns f's dirty blocks, block-id ascending.
+func (fs *FedFS) takeDirty(f xfs.FileID) []wbBlock {
+	d := fs.dirty[f]
+	if len(d) == 0 {
+		delete(fs.dirty, f)
+		return nil
+	}
+	blks := make([]uint32, 0, len(d))
+	for b := range d {
+		blks = append(blks, b)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	out := make([]wbBlock, len(blks))
+	for i, b := range blks {
+		out[i] = wbBlock{Blk: b, Data: d[b]}
+	}
+	delete(fs.dirty, f)
+	return out
+}
+
+// ---- home side ----
+
+func (fs *FedFS) entry(f xfs.FileID) *dirEntry {
+	ent := fs.dir[f]
+	if ent == nil {
+		ent = &dirEntry{readers: map[int]bool{}, writer: -1, sig: sim.NewSignal(fs.c.eng, "fed.dir")}
+		fs.dir[f] = ent
+	}
+	return ent
+}
+
+// onLease serves a grant request: recall whatever conflicts, warm the
+// file from the local xFS, record the holder.
+func (fs *FedFS) onLease(mode int) CallHandler {
+	return func(p *sim.Proc, from int, arg any) (any, int) {
+		f := arg.(leaseReq).F
+		ent := fs.entry(f)
+		ent.lock(p)
+		defer ent.unlock()
+		span := fs.c.reg.StartSpan("fed.lease.grant", from)
+		defer fs.c.reg.EndSpan(span)
+		if mode == leaseWrite {
+			fs.recallConflicting(p, f, ent, from, true)
+			ent.writer = from
+			ent.readers = map[int]bool{}
+		} else {
+			fs.recallConflicting(p, f, ent, from, false)
+			ent.readers[from] = true
+		}
+		warm, bytes := fs.warm(p, f)
+		fs.m.grants.Inc()
+		fs.c.reg.Annotate(span, fmt.Sprintf("file=%d mode=%d warm=%d", f, mode, len(warm)))
+		return leaseGrant{Mode: mode, Blocks: warm}, bytes + ctlBytes
+	}
+}
+
+// recallConflicting recalls, in cluster-id order, every holder whose
+// lease conflicts with the new request: the writer always, and for a
+// write grant every reader too. The requester itself is exempt (lease
+// upgrade), which keeps the call graph acyclic.
+func (fs *FedFS) recallConflicting(p *sim.Proc, f xfs.FileID, ent *dirEntry, from int, write bool) {
+	var targets []int
+	if ent.writer >= 0 && ent.writer != from {
+		targets = append(targets, ent.writer)
+	}
+	if write {
+		for r := range ent.readers {
+			if r != from && r != ent.writer {
+				targets = append(targets, r)
+			}
+		}
+	}
+	sort.Ints(targets)
+	for _, t := range targets {
+		fs.recallFrom(p, f, t)
+		if ent.writer == t {
+			ent.writer = -1
+		}
+		delete(ent.readers, t)
+	}
+}
+
+// recallFrom pulls cluster t's lease on f and writes its dirty blocks
+// through the home xFS before returning — the recall-before-
+// conflicting-write barrier.
+func (fs *FedFS) recallFrom(p *sim.Proc, f xfs.FileID, t int) {
+	span := fs.c.reg.StartSpan("fed.lease.recall", t)
+	defer fs.c.reg.EndSpan(span)
+	fs.m.recalls.Inc()
+	// The recall reply can carry every dirty block of the file.
+	rep, err := fs.c.gw.Call(p, t, hRecall, leaseReq{F: f}, ctlBytes, fs.grantBytes(fs.c.id))
+	if err != nil {
+		// The holder is unreachable past every retry: the lease is
+		// fenced (holder side invalidates on recall receipt; a holder
+		// that never heard us keeps only stale reads). Proceed.
+		fs.c.reg.Annotate(span, "recall lost: "+err.Error())
+		return
+	}
+	wb, _ := rep.(writeBack)
+	for _, b := range wb.Blocks {
+		if err := fs.local().Write(p, f, b.Blk, b.Data); err != nil {
+			fs.c.eng.Fail(fmt.Errorf("federation: write-back %d/%d: %w", f, b.Blk, err))
+			return
+		}
+		fs.m.wbBlocks.Inc()
+	}
+	if len(wb.Blocks) > 0 {
+		if err := fs.local().Sync(p); err != nil {
+			fs.c.eng.Fail(fmt.Errorf("federation: write-back sync %d: %w", f, err))
+		}
+	}
+}
+
+// recallForLocal fences remote holders before a home-local access: the
+// writer for reads, everyone for writes.
+func (fs *FedFS) recallForLocal(p *sim.Proc, f xfs.FileID, write bool) {
+	ent := fs.dir[f]
+	if ent == nil {
+		return
+	}
+	if !write && ent.writer < 0 {
+		return
+	}
+	ent.lock(p)
+	defer ent.unlock()
+	fs.recallConflicting(p, f, ent, fs.c.id, write)
+}
+
+// warm reads up to FileBlocks blocks of f from the home xFS — the
+// whole-file warmup a grant ships.
+func (fs *FedFS) warm(p *sim.Proc, f xfs.FileID) ([]wbBlock, int) {
+	var out []wbBlock
+	bytes := 0
+	for blk := uint32(0); int(blk) < fs.cfg.FileBlocks; blk++ {
+		data, err := fs.local().Read(p, f, blk)
+		if err != nil {
+			break // past the end of the file
+		}
+		out = append(out, wbBlock{Blk: blk, Data: data})
+		bytes += len(data)
+	}
+	return out, bytes
+}
+
+// onFetch serves a single-block remote read.
+func (fs *FedFS) onFetch(p *sim.Proc, from int, arg any) (any, int) {
+	req := arg.(fetchReq)
+	ent := fs.entry(req.F)
+	ent.lock(p)
+	defer ent.unlock()
+	data, err := fs.local().Read(p, req.F, req.Blk)
+	if err != nil {
+		return fmt.Sprintf("fetch %d/%d: %v", req.F, req.Blk, err), ctlBytes
+	}
+	return data, len(data) + ctlBytes
+}
+
+// onRecall is the holder side of a recall. It must not block: it
+// invalidates the lease and surrenders the dirty state synchronously,
+// so a holder that is itself waiting on the home can still be recalled.
+func (fs *FedFS) onRecall(p *sim.Proc, from int, arg any) (any, int) {
+	f := arg.(leaseReq).F
+	delete(fs.leases, f)
+	wb := writeBack{F: f, Blocks: fs.takeDirty(f)}
+	n := 0
+	for _, b := range wb.Blocks {
+		n += len(b.Data)
+	}
+	return wb, n + ctlBytes
+}
+
+// onWriteBack applies a holder's Sync at the home.
+func (fs *FedFS) onWriteBack(p *sim.Proc, from int, arg any) (any, int) {
+	wb := arg.(writeBack)
+	ent := fs.entry(wb.F)
+	ent.lock(p)
+	defer ent.unlock()
+	for _, b := range wb.Blocks {
+		if err := fs.local().Write(p, wb.F, b.Blk, b.Data); err != nil {
+			return err.Error(), ctlBytes
+		}
+		fs.m.wbBlocks.Inc()
+	}
+	if err := fs.local().Sync(p); err != nil {
+		return err.Error(), ctlBytes
+	}
+	return leaseGrant{}, ctlBytes
+}

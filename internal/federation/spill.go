@@ -1,0 +1,240 @@
+// GLUnix job spill-over: when a cluster cannot place a gang locally,
+// the federation ships it to a remote idle cluster — if the cost model
+// says the WAN transfer beats the local queue.
+//
+// Peer state travels by GOSSIP, not probes: each spill-enabled cluster
+// periodically one-way-broadcasts its idle count and queue length, and
+// placers read only their own cluster's (possibly stale) view. Nothing
+// ever reads another partition's live state, so the decision is a pure
+// function of the local event stream — deterministic at any worker
+// count, and Submit stays callable from any event callback (a one-way
+// WAN send is horizon arithmetic, no blocking).
+package federation
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/nowproject/now/internal/costmodel"
+	"github.com/nowproject/now/internal/glunix"
+	"github.com/nowproject/now/internal/obs"
+	"github.com/nowproject/now/internal/sim"
+)
+
+// SpillPolicy selects how jobs may cross the WAN.
+type SpillPolicy int
+
+const (
+	// SpillOff never ships jobs; Submit always queues locally.
+	SpillOff SpillPolicy = iota
+	// SpillWhenIdle ships whenever the local cluster cannot start the
+	// job now and some peer advertises enough idle workstations.
+	SpillWhenIdle
+	// SpillCostAware ships only when the modelled WAN cost (image
+	// transfer + round trip + cache warmup) undercuts the modelled
+	// local queue delay. Reuses internal/costmodel.
+	SpillCostAware
+)
+
+func (p SpillPolicy) String() string {
+	switch p {
+	case SpillWhenIdle:
+		return "when-idle"
+	case SpillCostAware:
+		return "cost-aware"
+	default:
+		return "off"
+	}
+}
+
+// SpillConfig shapes the spill-over service.
+type SpillConfig struct {
+	Policy SpillPolicy
+	// GossipInterval between peer-state broadcasts.
+	GossipInterval sim.Duration
+	// LeaseWarmup is the fixed federated-cache warmup charge in the
+	// remote-cost model.
+	LeaseWarmup sim.Duration
+	// StartEnabled arms spilling from t=0; otherwise a scenario (or the
+	// embedder) flips it with Federation.SetSpill.
+	StartEnabled bool
+}
+
+func (c SpillConfig) withDefaults() SpillConfig {
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 500 * sim.Millisecond
+	}
+	if c.LeaseWarmup <= 0 {
+		c.LeaseWarmup = 5 * sim.Millisecond
+	}
+	return c
+}
+
+// JobSpec is the migratable description of a gang job. It crosses the
+// WAN by value; the receiver constructs the glunix.Job.
+type JobSpec struct {
+	ID     int
+	NProcs int
+	Work   sim.Duration
+	Grain  sim.Duration
+}
+
+// WAN handler ids of the spill service.
+const (
+	hGossip uint8 = 0x20 + iota
+	hSpill
+)
+
+type gossipMsg struct {
+	Idle  int
+	Queue int
+}
+
+type peerState struct {
+	idle  int
+	queue int
+	seen  sim.Time
+}
+
+type spillMetrics struct {
+	shipped, received, kept *obs.Counter
+	gossips                 *obs.Counter
+}
+
+// spiller is one cluster's spill service.
+type spiller struct {
+	c       *Cluster
+	cfg     SpillConfig
+	enabled bool
+	peers   map[int]peerState
+	m       spillMetrics
+}
+
+func newSpiller(c *Cluster) *spiller {
+	sp := &spiller{
+		c:       c,
+		cfg:     c.fed.cfg.Spill,
+		enabled: c.fed.cfg.Spill.StartEnabled,
+		peers:   map[int]peerState{},
+	}
+	sp.m = spillMetrics{
+		shipped:  c.reg.Counter("fed.spill.jobs"),
+		received: c.reg.Counter("fed.spill.received"),
+		kept:     c.reg.Counter("fed.spill.kept"),
+		gossips:  c.reg.Counter("fed.gossip.sent"),
+	}
+	c.gw.HandleCast(hGossip, sp.onGossip)
+	c.gw.HandleCast(hSpill, sp.onSpill)
+	if c.GL != nil {
+		c.eng.Spawn(fmt.Sprintf("fed.gossip.%s", c.name), sp.gossipLoop)
+	}
+	return sp
+}
+
+func (sp *spiller) gossipLoop(p *sim.Proc) {
+	for {
+		p.Sleep(sp.cfg.GossipInterval)
+		sp.m.gossips.Inc()
+		msg := gossipMsg{Idle: sp.c.GL.Master.AvailableCount(), Queue: sp.c.GL.Master.QueueLen()}
+		for _, peer := range sp.c.fed.clusters {
+			if peer.id != sp.c.id && peer.GL != nil {
+				sp.c.gw.Cast(peer.id, hGossip, msg, ctlBytes)
+			}
+		}
+	}
+}
+
+func (sp *spiller) onGossip(from int, arg any) {
+	g := arg.(gossipMsg)
+	sp.peers[from] = peerState{idle: g.Idle, queue: g.Queue, seen: sp.c.eng.Now()}
+}
+
+func (sp *spiller) onSpill(from int, arg any) {
+	spec := arg.(JobSpec)
+	sp.m.received.Inc()
+	sp.c.GL.Master.Submit(glunix.NewJob(spec.ID, spec.NProcs, spec.Work, spec.Grain))
+}
+
+// place decides where spec runs and ships it if remote. Runs as an
+// event on the cluster's engine. Local capacity means idle machines AND
+// an empty queue: placement is FCFS, so a queued backlog makes the
+// instantaneous idle count a lie for newly arriving work.
+func (sp *spiller) place(spec JobSpec) {
+	m := sp.c.GL.Master
+	if !sp.enabled || sp.cfg.Policy == SpillOff ||
+		(m.QueueLen() == 0 && m.AvailableCount() >= spec.NProcs) {
+		sp.m.kept.Inc()
+		m.Submit(glunix.NewJob(spec.ID, spec.NProcs, spec.Work, spec.Grain))
+		return
+	}
+	target, ok := sp.pick(spec)
+	if !ok {
+		sp.m.kept.Inc()
+		m.Submit(glunix.NewJob(spec.ID, spec.NProcs, spec.Work, spec.Grain))
+		return
+	}
+	span := sp.c.reg.StartSpan("fed.spill", target)
+	sp.c.reg.Annotate(span, fmt.Sprintf("job=%d nprocs=%d", spec.ID, spec.NProcs))
+	sp.m.shipped.Inc()
+	bytes := int(sp.imageBytes()) * spec.NProcs
+	sp.c.gw.Cast(target, hSpill, spec, bytes)
+	sp.c.reg.EndSpan(span)
+}
+
+// pick returns the cheapest eligible peer, scanning in cluster-id order
+// so ties break deterministically.
+func (sp *spiller) pick(spec JobSpec) (int, bool) {
+	ids := make([]int, 0, len(sp.peers))
+	for id := range sp.peers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	localWait := costmodel.SpillLocalWaitNs(sp.c.GL.Master.QueueLen(), float64(spec.Work))
+	best, bestCost := -1, 0.0
+	for _, id := range ids {
+		ps := sp.peers[id]
+		if ps.idle < spec.NProcs {
+			continue
+		}
+		lk := sp.c.fed.fabric.links[sp.c.id][id]
+		cost := costmodel.SpillRemoteCostNs(sp.imageBytes(), spec.NProcs,
+			lk.BandwidthMbps, float64(lk.Latency), float64(sp.cfg.LeaseWarmup))
+		if sp.cfg.Policy == SpillCostAware && cost >= localWait {
+			continue
+		}
+		if best < 0 || cost < bestCost {
+			best, bestCost = id, cost
+		}
+	}
+	return best, best >= 0
+}
+
+func (sp *spiller) imageBytes() int64 {
+	if sp.c.GL != nil {
+		return sp.c.GL.Cfg.ImageBytes
+	}
+	return 32 << 20
+}
+
+// Submit routes a job through cluster c's spill placer (local submit
+// when spilling is off). Callable from any event or process on c's
+// engine — scenario event callbacks included.
+func (f *Federation) Submit(c int, spec JobSpec) {
+	cl := f.clusters[c]
+	if cl.GL == nil {
+		return
+	}
+	if cl.sp == nil {
+		cl.GL.Master.Submit(glunix.NewJob(spec.ID, spec.NProcs, spec.Work, spec.Grain))
+		return
+	}
+	cl.sp.place(spec)
+}
+
+// SetSpill arms or disarms cluster c's spill placer. Must run on c's
+// engine (schedule it there when toggling mid-run).
+func (f *Federation) SetSpill(c int, on bool) {
+	if sp := f.clusters[c].sp; sp != nil {
+		sp.enabled = on
+	}
+}

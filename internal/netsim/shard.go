@@ -24,10 +24,18 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/nowproject/now/internal/sim"
 )
+
+// ErrUnsupportedSharding is the sentinel wrapped by every "this
+// configuration cannot run under a ShardedEngine" rejection — shared
+// media and topology-bearing fabrics here, zero-lookahead WANs in
+// internal/federation. Callers branch with errors.Is to fall back to a
+// single-engine run instead of string-matching the message.
+var ErrUnsupportedSharding = errors.New("unsupported sharding")
 
 // PartitionMap assigns every node to one partition. It is part of the
 // workload's deterministic identity: the same map must be used at every
@@ -97,13 +105,13 @@ type ShardedFabric struct {
 // its delivery window.
 func NewSharded(se *sim.ShardedEngine, cfg Config, pm PartitionMap) (*ShardedFabric, error) {
 	if cfg.Shared {
-		return nil, fmt.Errorf("netsim: shared-medium fabric %q cannot be sharded", cfg.Name)
+		return nil, fmt.Errorf("netsim: shared-medium fabric %q: %w", cfg.Name, ErrUnsupportedSharding)
 	}
 	if cfg.Topo != nil {
 		// Internal links would be shared mutable state across partition
 		// engines; routing them through the handoff protocol is future
 		// work (DESIGN.md §13). Topology studies run single-engine.
-		return nil, fmt.Errorf("netsim: topology %s cannot be sharded", cfg.Topo.Name())
+		return nil, fmt.Errorf("netsim: topology %s: %w", cfg.Topo.Name(), ErrUnsupportedSharding)
 	}
 	if pm.NumNodes() != cfg.Nodes {
 		return nil, fmt.Errorf("netsim: partition map covers %d nodes, fabric has %d", pm.NumNodes(), cfg.Nodes)

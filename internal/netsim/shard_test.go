@@ -1,6 +1,7 @@
 package netsim_test
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"testing"
@@ -124,6 +125,34 @@ func TestShardedFabricGuards(t *testing.T) {
 	}
 	if _, err := netsim.NewSharded(se, netsim.Myrinet(8), netsim.SplitEven(8, 4)); err == nil {
 		t.Error("partition-count mismatch should fail")
+	}
+}
+
+// TestErrUnsupportedSharding pins the typed rejection: shared media and
+// topology-bearing fabrics must wrap the sentinel so callers (the
+// scenario runner, the federation) can branch on errors.Is instead of
+// string-matching, while plain parameter mistakes must NOT carry it.
+func TestErrUnsupportedSharding(t *testing.T) {
+	se := sim.NewShardedEngine(sim.ShardedConfig{Parts: 2, Seed: 1, Window: 5 * sim.Microsecond})
+	defer se.Close()
+	pm := netsim.SplitEven(8, 2)
+	_, err := netsim.NewSharded(se, netsim.Ethernet10(8), pm)
+	if !errors.Is(err, netsim.ErrUnsupportedSharding) {
+		t.Errorf("shared-medium rejection %v does not wrap ErrUnsupportedSharding", err)
+	}
+	topo := netsim.Myrinet(8)
+	ft, err := netsim.NewFatTree(8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Topo = ft
+	_, err = netsim.NewSharded(se, topo, pm)
+	if !errors.Is(err, netsim.ErrUnsupportedSharding) {
+		t.Errorf("topology rejection %v does not wrap ErrUnsupportedSharding", err)
+	}
+	_, err = netsim.NewSharded(se, netsim.Myrinet(8), netsim.SplitEven(4, 2))
+	if errors.Is(err, netsim.ErrUnsupportedSharding) {
+		t.Errorf("node-count mismatch %v should not wrap ErrUnsupportedSharding", err)
 	}
 }
 

@@ -22,9 +22,11 @@ import (
 //	fleet ws <n> [policy=<migrate|restart|ignore>] [heartbeat=<dur>] [fabric=<preset>] [topo=<crossbar|fattree|torus>]
 //	fleet xfs <nodes> [spares=<n>] [managers=<n>] [cache=<blocks>] [block=<bytes>] [pipelined]
 //	fleet shards <parts> [rounds=<n>] [barriers=<n>]
+//	fleet cluster <name> [ws=<n>] [xfs=<n>]  # one federation member (repeat; needs wan)
+//	wan lat=<dur> bw=<mbps>                  # the links between fleet cluster members
 //	at <t> <fault line>                      # any docs/FAULTS.md grammar line
 //	at <t> faults <path>                     # plan file, times offset by <t>
-//	at <t> jobs <count> nodes=<n> work=<dur> [every=<dur>] [grain=<dur>]
+//	at <t> jobs <count> nodes=<n> work=<dur> [every=<dur>] [grain=<dur>] [cluster=<name>]
 //	at <t> opmix <clients> [meta=<frac>] [think=<dur>] [files=<n>] [blocks=<n>]
 //	at <t> load <factor>
 //	at <t> flashcrowd <users> [for <dur>]
@@ -33,6 +35,7 @@ import (
 //	at <t> uncordon <ws>
 //	at <t> drain <ws>                        # cordon + migrate guest away
 //	at <t> remediate on|off                  # self-healing loop switch
+//	at <t> spill on|off                      # federated spill-over switch
 //	expect <metric> [p<q>] <op> <value> at <time|end>
 //	expect span <name> count|p<q> <op> <value> at <time|end>
 //
@@ -167,6 +170,37 @@ func (s *Scenario) parseLine(fields []string, lineNo int) error {
 			return fmt.Errorf("fleet wants a kind and a size (fleet ws 32)")
 		}
 		return s.parseFleet(fields[1], fields[2], fields[3:])
+	case "wan":
+		if s.Fleet.WAN != nil {
+			return fmt.Errorf("duplicate 'wan' line")
+		}
+		w := &WANFleet{}
+		for _, o := range fields[1:] {
+			k, v, ok := strings.Cut(o, "=")
+			if !ok {
+				return fmt.Errorf("wan: bad option %q (want lat=<dur> bw=<mbps>)", o)
+			}
+			switch k {
+			case "lat":
+				d, err := parseDur(v)
+				if err != nil {
+					return fmt.Errorf("wan: bad lat %q: %w", v, err)
+				}
+				w.Latency = d
+			case "bw":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return fmt.Errorf("wan: bad bw %q", v)
+				}
+				w.BandwidthMbps = f
+			default:
+				return fmt.Errorf("wan: unknown option %q", k)
+			}
+		}
+		if w.Latency == 0 || w.BandwidthMbps == 0 {
+			return fmt.Errorf("wan wants both lat=<dur> and bw=<mbps>")
+		}
+		s.Fleet.WAN = w
 	case "at":
 		if len(fields) < 3 {
 			return fmt.Errorf("at wants a time and an event")
@@ -190,8 +224,35 @@ func (s *Scenario) parseLine(fields []string, lineNo int) error {
 	return nil
 }
 
-// parseFleet reads one fleet declaration ("ws", "xfs" or "shards").
+// parseFleet reads one fleet declaration ("ws", "xfs", "shards" or
+// "cluster"; for "cluster" the size position holds the member's name).
 func (s *Scenario) parseFleet(kind, size string, opts []string) error {
+	if kind == "cluster" {
+		c := ClusterFleet{Name: size}
+		if _, err := strconv.Atoi(size); err == nil || size == "" {
+			return fmt.Errorf("fleet cluster: wants a name, not %q", size)
+		}
+		for _, o := range opts {
+			k, v, ok := strings.Cut(o, "=")
+			if !ok {
+				return fmt.Errorf("fleet cluster %s: bad option %q (want ws=<n> or xfs=<n>)", c.Name, o)
+			}
+			iv, err := strconv.Atoi(v)
+			if err != nil || iv < 1 {
+				return fmt.Errorf("fleet cluster %s: bad %q", c.Name, o)
+			}
+			switch k {
+			case "ws":
+				c.WS = iv
+			case "xfs":
+				c.XFS = iv
+			default:
+				return fmt.Errorf("fleet cluster %s: unknown option %q", c.Name, k)
+			}
+		}
+		s.Fleet.Clusters = append(s.Fleet.Clusters, c)
+		return nil
+	}
 	n, err := strconv.Atoi(size)
 	if err != nil || n < 1 {
 		return fmt.Errorf("fleet %s: bad size %q", kind, size)
@@ -281,7 +342,7 @@ func (s *Scenario) parseFleet(kind, size string, opts []string) error {
 		}
 		s.Fleet.Shards = sh
 	default:
-		return fmt.Errorf("unknown fleet kind %q (want ws, xfs or shards)", kind)
+		return fmt.Errorf("unknown fleet kind %q (want ws, xfs, shards or cluster)", kind)
 	}
 	return nil
 }
@@ -343,6 +404,8 @@ func parseEvent(fields []string) (Event, error) {
 				ev.Every, err = parseDur(v)
 			case "grain":
 				ev.Grain, err = parseDur(v)
+			case "cluster":
+				ev.Cluster = v
 			default:
 				return Event{}, fmt.Errorf("jobs: unknown option %q", k)
 			}
@@ -442,6 +505,11 @@ func parseEvent(fields []string) (Event, error) {
 			return Event{}, fmt.Errorf("remediate wants 'on' or 'off'")
 		}
 		ev.Kind, ev.On = EvRemediate, args[0] == "on"
+	case "spill":
+		if len(args) != 1 || (args[0] != "on" && args[0] != "off") {
+			return Event{}, fmt.Errorf("spill wants 'on' or 'off'")
+		}
+		ev.Kind, ev.On = EvSpill, args[0] == "on"
 	default:
 		return Event{}, fmt.Errorf("unknown event %q", kind)
 	}

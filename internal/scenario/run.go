@@ -11,6 +11,7 @@ import (
 	"github.com/nowproject/now/internal/controlplane"
 	"github.com/nowproject/now/internal/experiments"
 	"github.com/nowproject/now/internal/faults"
+	"github.com/nowproject/now/internal/federation"
 	"github.com/nowproject/now/internal/glunix"
 	"github.com/nowproject/now/internal/netsim"
 	"github.com/nowproject/now/internal/obs"
@@ -87,6 +88,26 @@ type Result struct {
 	// Sharded-fleet summary (nil for classic fleets). Wall-clock fields
 	// are never reported.
 	Sharded *experiments.ShardedTrafficResult
+
+	// Federated summary (nil unless the fleet declares clusters).
+	Federated *FedSummary
+}
+
+// FedSummary reports a federated run: per-member job tallies plus the
+// WAN and spill-over totals from the merged registry.
+type FedSummary struct {
+	Clusters []FedClusterSummary
+	Spilled  int64 // jobs shipped across the WAN (fed.spill.jobs)
+	WANSent  int64 // WAN messages sent (wan.sent)
+	WANDrops int64 // WAN messages lost (wan.drops)
+	LeaseOps int64 // federated lease grants (fed.lease.grants)
+}
+
+// FedClusterSummary is one member cluster's share of a federated run.
+type FedClusterSummary struct {
+	Name          string
+	JobsCompleted int64
+	SpillReceived int64
 }
 
 // Ok reports whether the run is green: every assertion passed. Unknown
@@ -104,7 +125,101 @@ func Run(s *Scenario, opts Options) (*Result, error) {
 	if s.Fleet.Shards != nil {
 		return runSharded(s, opts)
 	}
+	if len(s.Fleet.Clusters) > 0 {
+		return runFederated(s, opts)
+	}
 	return runClassic(s)
+}
+
+// runFederated executes a 'fleet cluster' scenario: build the
+// federation (one partition per member), pre-schedule every script
+// event on its target cluster's engine, run to the horizon, and
+// evaluate the end checkpoint on the merged registry. Worker count is
+// an Options knob; the report is byte-identical at any value.
+func runFederated(s *Scenario, opts Options) (*Result, error) {
+	members := make([]federation.ClusterConfig, len(s.Fleet.Clusters))
+	index := map[string]int{}
+	for i, c := range s.Fleet.Clusters {
+		members[i] = federation.ClusterConfig{Name: c.Name, Workstations: c.WS, XFSNodes: c.XFS}
+		index[c.Name] = i
+	}
+	f, err := federation.New(federation.Config{
+		Clusters: members,
+		WAN: federation.WANConfig{
+			Latency:       s.Fleet.WAN.Latency,
+			BandwidthMbps: s.Fleet.WAN.BandwidthMbps,
+		},
+		// The placer is always cost-aware; 'spill on'/'spill off' events
+		// arm and disarm it (disarmed at t=0 unless the script says).
+		Spill:   federation.SpillConfig{Policy: federation.SpillCostAware},
+		Seed:    s.Seed,
+		Workers: opts.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	defer f.Close()
+
+	// Pre-schedule the script. Job IDs follow script order, like the
+	// classic runner's expandJobs; every event runs on the engine of the
+	// cluster it addresses, so no partition reads another's state.
+	jobID := 0
+	for _, ev := range s.Events {
+		ev := ev
+		switch ev.Kind {
+		case EvJobs:
+			target := index[ev.Cluster]
+			grain := ev.Grain
+			if grain <= 0 {
+				grain = 5 * sim.Second
+			}
+			for i := 0; i < ev.Count; i++ {
+				arrive := ev.At + sim.Time(i)*sim.Time(ev.Every)
+				if arrive > sim.Time(s.Horizon) {
+					break
+				}
+				spec := federation.JobSpec{ID: jobID, NProcs: ev.Nodes, Work: ev.Work, Grain: grain}
+				jobID++
+				f.Cluster(target).Engine().At(arrive, func() { f.Submit(target, spec) })
+			}
+		case EvSpill:
+			for i := 0; i < f.Clusters(); i++ {
+				i := i
+				f.Cluster(i).Engine().At(ev.At, func() { f.SetSpill(i, ev.On) })
+			}
+		}
+	}
+	jobsTotal := jobID
+
+	if err := f.Run(sim.Time(s.Horizon)); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+
+	reg := f.Merged()
+	res := &Result{S: s, Registry: reg, JobsTotal: jobsTotal}
+	fs := &FedSummary{}
+	for i, c := range s.Fleet.Clusters {
+		cs := FedClusterSummary{Name: c.Name}
+		if gl := f.Cluster(i).GL; gl != nil {
+			cs.JobsCompleted = gl.Master.Stats().JobsCompleted
+			res.JobsCompleted += int(cs.JobsCompleted)
+			cs.SpillReceived, _ = f.Registry(i).CounterValue("fed.spill.received")
+		}
+		fs.Clusters = append(fs.Clusters, cs)
+	}
+	fs.Spilled, _ = reg.CounterValue("fed.spill.jobs")
+	fs.WANSent, _ = reg.CounterValue("wan.sent")
+	fs.WANDrops, _ = reg.CounterValue("wan.drops")
+	fs.LeaseOps, _ = reg.CounterValue("fed.lease.grants")
+	res.Federated = fs
+
+	sm := newScenarioMetrics(reg)
+	for range s.Events {
+		sm.events.Inc()
+	}
+	evalEndChecks(s, reg, sm, res)
+	sortChecks(res)
+	return res, nil
 }
 
 // runClassic executes a ws/xfs scenario on one engine: build the
@@ -668,15 +783,33 @@ func (r *Result) Report() string {
 	if sh := s.Fleet.Shards; sh != nil {
 		fmt.Fprintf(&b, "fleet: %d nodes sharded into %d partitions\n", s.Fleet.WS, sh.Parts)
 	}
+	if fs := r.Federated; fs != nil {
+		w := s.Fleet.WAN
+		fmt.Fprintf(&b, "fleet: federation of %d clusters, wan lat %s bw %s Mb/s\n",
+			len(fs.Clusters), w.Latency, formatFrac(w.BandwidthMbps))
+		for i, cs := range fs.Clusters {
+			cf := s.Fleet.Clusters[i]
+			fmt.Fprintf(&b, "  cluster %s:", cs.Name)
+			if cf.WS > 0 {
+				fmt.Fprintf(&b, " %d ws,", cf.WS)
+			}
+			if cf.XFS > 0 {
+				fmt.Fprintf(&b, " %d xfs,", cf.XFS)
+			}
+			fmt.Fprintf(&b, " jobs %d (%d spilled in)\n", cs.JobsCompleted, cs.SpillReceived)
+		}
+	}
 	if len(s.Events) > 0 {
 		fmt.Fprintf(&b, "events: %d scheduled\n", len(s.Events))
 	}
 	if r.FaultsTot > 0 {
 		fmt.Fprintf(&b, "faults: %d/%d applied\n", r.FaultsApplied, r.FaultsTot)
 	}
-	if r.JobsTotal > 0 {
+	if r.JobsTotal > 0 && r.Federated == nil {
 		fmt.Fprintf(&b, "jobs: %d/%d completed, mean response %s\n",
 			r.JobsCompleted, r.JobsTotal, r.MeanResponse)
+	} else if r.JobsTotal > 0 {
+		fmt.Fprintf(&b, "jobs: %d/%d completed\n", r.JobsCompleted, r.JobsTotal)
 	}
 	if r.Ops > 0 {
 		fmt.Fprintf(&b, "opmix: %d ops (%d metadata, %d data, %d errors)\n",
@@ -697,6 +830,10 @@ func (r *Result) Report() string {
 	if sh := r.Sharded; sh != nil {
 		fmt.Fprintf(&b, "sharded: makespan %.1fus, barrier %.1fus, %d events, %d cross packets, %d overflows, %d drops\n",
 			sh.MakespanUs, sh.BarrierUs, sh.Events, sh.CrossSent, sh.Overflows, sh.Drops)
+	}
+	if fs := r.Federated; fs != nil {
+		fmt.Fprintf(&b, "federation: %d jobs spilled, %d lease grants, wan sent %d, drops %d\n",
+			fs.Spilled, fs.LeaseOps, fs.WANSent, fs.WANDrops)
 	}
 	if len(r.Checks) > 0 {
 		b.WriteString("checks:\n")

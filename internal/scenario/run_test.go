@@ -247,3 +247,63 @@ func TestRunTopologyFleet(t *testing.T) {
 		t.Fatal("flat fleet registered net.topo.hops")
 	}
 }
+
+// fedRunScenario is a small two-building federation: the annex takes a
+// burst of gangs it cannot hold, spills on, and the library absorbs
+// part of the backlog over the WAN.
+const fedRunScenario = `scenario fed-run
+seed 9
+horizon 90s
+fleet cluster library ws=8
+fleet cluster annex ws=4
+wan lat=10ms bw=100
+at 0s spill on
+at 1s jobs 4 nodes=4 work=15s every=1s grain=1s cluster=annex
+expect fed.spill.jobs >= 1 at end
+expect wan.sent > 0 at end
+expect scenario.events == 2 at end
+`
+
+// TestRunFederated drives a federated scenario end to end: the spill
+// assertions must pass, the summary must tally per-member jobs, and —
+// the property verify.sh golden-gates — report and metrics export must
+// be byte-identical at any worker count.
+func TestRunFederated(t *testing.T) {
+	run := func(workers int) (*Result, string, []byte) {
+		res, err := Run(mustParse(t, fedRunScenario), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Registry.WriteMetricsJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, res.Report(), buf.Bytes()
+	}
+	res, r1, m1 := run(1)
+	if !res.Ok() {
+		t.Fatalf("federated run not green:\n%s", r1)
+	}
+	if res.Federated == nil || len(res.Federated.Clusters) != 2 {
+		t.Fatalf("missing federated summary: %+v", res.Federated)
+	}
+	if res.Federated.Spilled < 1 {
+		t.Fatalf("no jobs spilled:\n%s", r1)
+	}
+	if res.JobsTotal != 4 || res.JobsCompleted != 4 {
+		t.Fatalf("jobs %d/%d, want 4/4:\n%s", res.JobsCompleted, res.JobsTotal, r1)
+	}
+	lib := res.Federated.Clusters[0]
+	if lib.Name != "library" || lib.SpillReceived != res.Federated.Spilled {
+		t.Fatalf("library should have received every spill: %+v", res.Federated)
+	}
+	for _, workers := range []int{2, 4} {
+		_, r, m := run(workers)
+		if r != r1 {
+			t.Fatalf("report differs at %d workers:\n--- 1 ---\n%s--- %d ---\n%s", workers, r1, workers, r)
+		}
+		if !bytes.Equal(m, m1) {
+			t.Fatalf("metrics export differs at %d workers", workers)
+		}
+	}
+}

@@ -87,6 +87,32 @@ type Fleet struct {
 	XFS *XFSFleet
 	// Shards switches the scenario to the sharded multicore engine.
 	Shards *ShardFleet
+	// Clusters switches the scenario to a wide-area federation (NOW of
+	// NOWs, DESIGN.md §14): one cluster stack per entry, each on its own
+	// partition of a sharded engine. Exclusive with WS/XFS/Shards.
+	Clusters []ClusterFleet
+	// WAN shapes the wide-area links between the federation's clusters.
+	// Requires Clusters.
+	WAN *WANFleet
+}
+
+// ClusterFleet declares one member cluster of a federated scenario:
+// its GLUnix size and/or its xFS installation.
+type ClusterFleet struct {
+	// Name identifies the cluster in events ("jobs ... cluster=soda").
+	Name string
+	// WS is the GLUnix cluster size (0 = no global layer).
+	WS int
+	// XFS is the xFS node count (0 = no storage; the cluster still
+	// reaches remote files through the federated cache tier).
+	XFS int
+}
+
+// WANFleet shapes the federation's wide-area links: symmetric one-way
+// latency and per-direction bandwidth.
+type WANFleet struct {
+	Latency       sim.Duration
+	BandwidthMbps float64
 }
 
 // XFSFleet shapes the storage side of a fleet.
@@ -150,6 +176,9 @@ const (
 	EvDrain
 	// EvRemediate toggles the self-healing remediation loop on or off.
 	EvRemediate
+	// EvSpill toggles federated job spill-over on or off (every member
+	// cluster's placer flips together).
+	EvSpill
 )
 
 // Event is one line of the timed script. Which fields matter depends on
@@ -191,8 +220,11 @@ type Event struct {
 	// Node is the workstation a control verb addresses (EvCordon,
 	// EvUncordon, EvDrain).
 	Node int
-	// On is the remediation switch position (EvRemediate).
+	// On is the switch position (EvRemediate, EvSpill).
 	On bool
+	// Cluster targets a federated member by name (EvJobs in federated
+	// scenarios).
+	Cluster string
 }
 
 // CmpOp is an assertion comparison operator.
@@ -361,6 +393,19 @@ func (s *Scenario) String() string {
 		}
 		b.WriteByte('\n')
 	}
+	for _, c := range s.Fleet.Clusters {
+		fmt.Fprintf(&b, "fleet cluster %s", c.Name)
+		if c.WS > 0 {
+			fmt.Fprintf(&b, " ws=%d", c.WS)
+		}
+		if c.XFS > 0 {
+			fmt.Fprintf(&b, " xfs=%d", c.XFS)
+		}
+		b.WriteByte('\n')
+	}
+	if w := s.Fleet.WAN; w != nil {
+		fmt.Fprintf(&b, "wan lat=%s bw=%s\n", w.Latency, formatFrac(w.BandwidthMbps))
+	}
 	for _, ev := range s.Events {
 		b.WriteString(ev.String())
 		b.WriteByte('\n')
@@ -392,6 +437,9 @@ func (ev Event) String() string {
 		}
 		if ev.Grain > 0 {
 			fmt.Fprintf(&b, " grain=%s", ev.Grain)
+		}
+		if ev.Cluster != "" {
+			fmt.Fprintf(&b, " cluster=%s", ev.Cluster)
 		}
 	case EvOpMix:
 		fmt.Fprintf(&b, "opmix %d", ev.Clients)
@@ -430,6 +478,12 @@ func (ev Event) String() string {
 			b.WriteString("remediate on")
 		} else {
 			b.WriteString("remediate off")
+		}
+	case EvSpill:
+		if ev.On {
+			b.WriteString("spill on")
+		} else {
+			b.WriteString("spill off")
 		}
 	default:
 		fmt.Fprintf(&b, "event(%d)", int(ev.Kind))
@@ -505,8 +559,14 @@ func (s *Scenario) Problems() []Problem {
 		add(0, "scenario: missing 'scenario <name>' line")
 	}
 	fl := s.Fleet
-	if fl.WS == 0 && fl.XFS == nil && fl.Shards == nil {
-		add(0, "scenario %s: no fleet declared (want 'fleet ws', 'fleet xfs' or 'fleet shards')", s.Name)
+	if fl.WS == 0 && fl.XFS == nil && fl.Shards == nil && len(fl.Clusters) == 0 {
+		add(0, "scenario %s: no fleet declared (want 'fleet ws', 'fleet xfs', 'fleet shards' or 'fleet cluster')", s.Name)
+	}
+	if len(fl.Clusters) > 0 {
+		return append(ps, s.federatedProblems()...)
+	}
+	if fl.WAN != nil {
+		add(0, "scenario %s: 'wan' needs 'fleet cluster' members", s.Name)
 	}
 	if fl.WS < 0 {
 		add(0, "scenario %s: fleet ws %d", s.Name, fl.WS)
@@ -575,6 +635,80 @@ func (s *Scenario) Problems() []Problem {
 	return ps
 }
 
+// federatedProblems validates a 'fleet cluster' scenario: the member
+// list, the WAN, and the restricted event/assert surface (jobs with a
+// cluster= target, spill toggles, 'at end' checkpoints).
+func (s *Scenario) federatedProblems() []Problem {
+	var ps []Problem
+	add := func(line int, format string, a ...any) {
+		ps = append(ps, Problem{Line: line, Err: fmt.Errorf(format, a...)})
+	}
+	fl := s.Fleet
+	if fl.WS != 0 || fl.XFS != nil || fl.Shards != nil {
+		add(0, "scenario %s: fleet cluster cannot combine with fleet ws/xfs/shards (members declare their own)", s.Name)
+	}
+	if len(fl.Clusters) < 2 {
+		add(0, "scenario %s: a federation needs at least 2 'fleet cluster' members", s.Name)
+	}
+	names := map[string]ClusterFleet{}
+	for _, c := range fl.Clusters {
+		if _, dup := names[c.Name]; dup {
+			add(0, "scenario %s: duplicate cluster %q", s.Name, c.Name)
+		}
+		names[c.Name] = c
+		if c.WS == 0 && c.XFS == 0 {
+			add(0, "scenario %s: cluster %s declares neither ws= nor xfs=", s.Name, c.Name)
+		}
+	}
+	if w := fl.WAN; w == nil {
+		add(0, "scenario %s: federated scenarios need a 'wan lat=<dur> bw=<mbps>' line", s.Name)
+	} else {
+		if w.Latency <= 0 {
+			add(0, "scenario %s: wan lat must be positive (the sharded window needs a minimum link latency)", s.Name)
+		}
+		if w.BandwidthMbps <= 0 {
+			add(0, "scenario %s: wan bw must be positive", s.Name)
+		}
+	}
+	if s.Horizon <= 0 {
+		add(0, "scenario %s: missing 'horizon <duration>' line", s.Name)
+	}
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case EvJobs:
+			if ev.Count < 1 || ev.Nodes < 1 || ev.Work <= 0 {
+				add(ev.Line, "scenario %s: %s: jobs wants a positive count, nodes= and work=", s.Name, at(ev))
+				continue
+			}
+			if ev.Cluster == "" {
+				add(ev.Line, "scenario %s: %s: federated jobs want a cluster=<name> target", s.Name, at(ev))
+				continue
+			}
+			c, ok := names[ev.Cluster]
+			if !ok {
+				add(ev.Line, "scenario %s: %s: unknown cluster %q", s.Name, at(ev), ev.Cluster)
+			} else if c.WS == 0 {
+				add(ev.Line, "scenario %s: %s: cluster %s has no workstations to run jobs", s.Name, at(ev), ev.Cluster)
+			} else if ev.Nodes > c.WS {
+				add(ev.Line, "scenario %s: %s: jobs nodes=%d exceeds cluster %s's %d workstations (spill ships whole gangs, it does not split them)", s.Name, at(ev), ev.Nodes, ev.Cluster, c.WS)
+			}
+		case EvSpill:
+			// Always valid in a federation.
+		default:
+			add(ev.Line, "scenario %s: %s: federated scenarios support jobs and spill events only", s.Name, at(ev))
+		}
+		if s.Horizon > 0 && ev.At > sim.Time(s.Horizon) {
+			add(ev.Line, "scenario %s: %s: event at %s is past the horizon %s", s.Name, at(ev), sim.Duration(ev.At), s.Horizon)
+		}
+	}
+	for _, ex := range s.Expects {
+		if !ex.AtEnd {
+			add(ex.Line, "scenario %s: %s: federated scenarios support 'at end' checkpoints only", s.Name, atx(ex))
+		}
+	}
+	return ps
+}
+
 // validateEvent checks one event against the declared fleet.
 func (s *Scenario) validateEvent(ev Event) error {
 	needWS := func(what string) error {
@@ -611,6 +745,9 @@ func (s *Scenario) validateEvent(ev Event) error {
 		if ev.Nodes > s.Fleet.WS {
 			return fmt.Errorf("jobs nodes=%d exceeds the %d-workstation fleet", ev.Nodes, s.Fleet.WS)
 		}
+		if ev.Cluster != "" {
+			return fmt.Errorf("jobs cluster=%s needs 'fleet cluster' members", ev.Cluster)
+		}
 	case EvOpMix:
 		if err := needXFS("opmix"); err != nil {
 			return err
@@ -644,6 +781,8 @@ func (s *Scenario) validateEvent(ev Event) error {
 		}
 	case EvRemediate:
 		return needWS("remediate")
+	case EvSpill:
+		return fmt.Errorf("spill needs 'fleet cluster' members")
 	default:
 		return fmt.Errorf("unknown event kind %d", int(ev.Kind))
 	}

@@ -274,3 +274,103 @@ func TestCmpOps(t *testing.T) {
 		}
 	}
 }
+
+// fedScenario is a canonical federated story: two member clusters, a
+// WAN, a spill toggle, and jobs addressed at a member.
+const fedScenario = `scenario fed-sample
+seed 42
+horizon 120s
+fleet cluster library ws=8 xfs=6
+fleet cluster annex ws=4
+wan lat=20ms bw=100
+at 0s spill on
+at 1s jobs 4 nodes=4 work=20s every=1s grain=1s cluster=annex
+at 60s spill off
+expect fed.spill.jobs >= 0 at end
+expect wan.sent > 0 at end
+`
+
+// TestParsePrintIdentityFederated extends the grammar's round-trip
+// contract to the federated directives: fleet cluster, wan, spill, and
+// the jobs cluster= target.
+func TestParsePrintIdentityFederated(t *testing.T) {
+	s, err := Parse(strings.NewReader(fedScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.String()
+	if got != fedScenario {
+		t.Fatalf("parse∘print not identity:\n--- want ---\n%s--- got ---\n%s", fedScenario, got)
+	}
+	if len(s.Fleet.Clusters) != 2 || s.Fleet.Clusters[0].Name != "library" ||
+		s.Fleet.Clusters[0].WS != 8 || s.Fleet.Clusters[0].XFS != 6 {
+		t.Fatalf("clusters misparsed: %+v", s.Fleet.Clusters)
+	}
+	if s.Fleet.WAN == nil || s.Fleet.WAN.Latency != 20*sim.Millisecond || s.Fleet.WAN.BandwidthMbps != 100 {
+		t.Fatalf("wan misparsed: %+v", s.Fleet.WAN)
+	}
+	if s.Events[0].Kind != EvSpill || !s.Events[0].On {
+		t.Fatalf("spill on misparsed: %+v", s.Events[0])
+	}
+	if s.Events[1].Cluster != "annex" {
+		t.Fatalf("jobs cluster= misparsed: %+v", s.Events[1])
+	}
+}
+
+// TestFederatedValidation pins the federated structural checks: member
+// list shape, the mandatory WAN, the restricted event surface, and the
+// end-only checkpoint rule.
+func TestFederatedValidation(t *testing.T) {
+	head := "scenario f\nseed 1\nhorizon 60s\nfleet cluster a ws=4\nfleet cluster b ws=4\nwan lat=10ms bw=100\n"
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"one member", "scenario f\nhorizon 60s\nfleet cluster a ws=4\nwan lat=10ms bw=100\n", "at least 2 'fleet cluster' members"},
+		{"no wan", "scenario f\nhorizon 60s\nfleet cluster a ws=4\nfleet cluster b ws=4\n", "need a 'wan"},
+		{"wan without clusters", "scenario f\nhorizon 60s\nfleet ws 4\nwan lat=10ms bw=100\n", "'wan' needs 'fleet cluster' members"},
+		{"zero lat", "scenario f\nhorizon 60s\nfleet cluster a ws=4\nfleet cluster b ws=4\nwan lat=0s bw=100\n", "wan wants both lat="},
+		{"mix with ws", "scenario f\nhorizon 60s\nfleet ws 4\nfleet cluster a ws=4\nfleet cluster b ws=4\nwan lat=10ms bw=100\n", "cannot combine"},
+		{"duplicate member", "scenario f\nhorizon 60s\nfleet cluster a ws=4\nfleet cluster a ws=4\nwan lat=10ms bw=100\n", `duplicate cluster "a"`},
+		{"empty member", "scenario f\nhorizon 60s\nfleet cluster a\nfleet cluster b ws=4\nwan lat=10ms bw=100\n", "neither ws= nor xfs="},
+		{"jobs without cluster", head + "at 0s jobs 1 nodes=2 work=10s\n", "want a cluster=<name> target"},
+		{"jobs unknown cluster", head + "at 0s jobs 1 nodes=2 work=10s cluster=c\n", `unknown cluster "c"`},
+		{"jobs too wide", head + "at 0s jobs 1 nodes=9 work=10s cluster=a\n", "exceeds cluster a's 4 workstations"},
+		{"crash in federation", head + "at 0s crash 2\n", "jobs and spill events only"},
+		{"timed expect", head + "expect wan.sent > 0 at 5s\n", "'at end' checkpoints only"},
+		{"spill outside federation", "scenario f\nhorizon 60s\nfleet ws 4\nat 0s spill on\n", "spill needs 'fleet cluster' members"},
+		{"jobs cluster outside federation", "scenario f\nhorizon 60s\nfleet ws 4\nat 0s jobs 1 nodes=2 work=10s cluster=a\n", "needs 'fleet cluster' members"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(strings.NewReader(tc.in))
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q missing %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestFederatedParseErrors pins the federated parse-time messages and
+// their line anchors.
+func TestFederatedParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"cluster wants name", "scenario x\nfleet cluster 4\n", "line 2"},
+		{"bad cluster option", "scenario x\nfleet cluster a speed=9\n", "line 2"},
+		{"wan wants lat", "scenario x\nwan bw=100\n", "line 2: wan wants both lat="},
+		{"wan wants bw", "scenario x\nwan lat=10ms\n", "line 2: wan wants both lat="},
+		{"duplicate wan", "scenario x\nwan lat=10ms bw=1\nwan lat=10ms bw=1\n", "line 3: duplicate 'wan' line"},
+		{"bad spill arg", "scenario x\nseed 1\nat 0s spill maybe\n", "line 3: spill wants 'on' or 'off'"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(strings.NewReader(tc.in))
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q missing %q", tc.name, err, tc.wantSub)
+		}
+	}
+}

@@ -19,498 +19,22 @@
 //   - swraid: software RAID across workstation disks;
 //   - xfs: the serverless network file system;
 //   - sfi: software fault isolation;
+//   - federation: NOW of NOWs — clusters composed over a wide-area
+//     fabric (lease-based cross-cluster caching, job spill-over);
 //   - gator, costmodel, apps, trace, experiments: the paper's
 //     evaluation — every table and figure regenerates (cmd/nowbench).
 //
 // This package is the front door: curated aliases and constructors so
 // user code reads now.NewEngine, now.NewGLUnix, now.NewXFS without
-// spelling internal import paths. Examples live in examples/; the
-// benchmark harness regenerating the paper's results is bench_test.go
-// and cmd/nowbench.
+// spelling internal import paths. The surface is split by concern:
+//
+//   - now_sim.go: the simulation substrate (engines, sharding, merge);
+//   - now_net.go: fabrics, topologies, Active Messages, collectives;
+//   - now_storage.go: network RAM, cooperative caching, RAID, xFS;
+//   - now_ops.go: GLUnix, faults, scenarios, observability, the
+//     control plane, and the workload studies;
+//   - now_federation.go: the wide-area NOW-of-NOWs layer.
+//
+// Examples live in examples/; the benchmark harness regenerating the
+// paper's results is bench_test.go and cmd/nowbench.
 package now
-
-import (
-	"github.com/nowproject/now/internal/controlplane"
-	"github.com/nowproject/now/internal/coopcache"
-	"github.com/nowproject/now/internal/faults"
-	"github.com/nowproject/now/internal/gator"
-	"github.com/nowproject/now/internal/glunix"
-	"github.com/nowproject/now/internal/netram"
-	"github.com/nowproject/now/internal/netsim"
-	"github.com/nowproject/now/internal/node"
-	"github.com/nowproject/now/internal/obs"
-	"github.com/nowproject/now/internal/proto/am"
-	"github.com/nowproject/now/internal/proto/collective"
-	"github.com/nowproject/now/internal/scenario"
-	"github.com/nowproject/now/internal/sim"
-	"github.com/nowproject/now/internal/swraid"
-	"github.com/nowproject/now/internal/trace"
-	"github.com/nowproject/now/internal/xfs"
-)
-
-// ---- simulation substrate ----
-
-// Engine is the deterministic discrete-event simulator every NOW system
-// runs on.
-type Engine = sim.Engine
-
-// Proc is a simulated process.
-type Proc = sim.Proc
-
-// Time is a point in virtual time; Duration a span (nanoseconds).
-type (
-	Time     = sim.Time
-	Duration = sim.Duration
-)
-
-// Virtual-time units.
-const (
-	Microsecond = sim.Microsecond
-	Millisecond = sim.Millisecond
-	Second      = sim.Second
-	Minute      = sim.Minute
-	Hour        = sim.Hour
-)
-
-// NewEngine creates a simulator seeded for reproducibility.
-func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
-
-// ErrStopped is the error Engine.Run returns after Engine.Stop — the
-// normal way a driven simulation ends.
-var ErrStopped = sim.ErrStopped
-
-// WaitGroup joins concurrently spawned simulated processes.
-type WaitGroup = sim.WaitGroup
-
-// NewWaitGroup creates a WaitGroup on e; name labels it in traces.
-func NewWaitGroup(e *Engine, name string) *WaitGroup { return sim.NewWaitGroup(e, name) }
-
-// ---- sharded (multicore) execution ----
-
-// ShardedConfig shapes a sharded engine: Parts logical partitions
-// (workload identity — part of what a seed means), Workers goroutines
-// executing them (never observable in results), the master Seed, and
-// the conservative-lookahead Window (at least the minimum cross-
-// partition link latency).
-type (
-	ShardedConfig = sim.ShardedConfig
-	ShardedEngine = sim.ShardedEngine
-	ShardMsg      = sim.ShardMsg
-)
-
-// NewShardedEngine builds Parts deterministic engines coordinated under
-// the windowed conservative protocol of DESIGN.md §10.
-func NewShardedEngine(cfg ShardedConfig) *ShardedEngine { return sim.NewShardedEngine(cfg) }
-
-// Partitioned-fabric aliases: a PartitionMap assigns nodes to
-// partitions; a ShardedFabric is one fabric split into per-partition
-// instances with deterministic cross-partition packet handoff.
-type (
-	PartitionMap  = netsim.PartitionMap
-	ShardedFabric = netsim.ShardedFabric
-)
-
-// SplitEven maps nodes onto parts partitions in contiguous equal runs.
-var SplitEven = netsim.SplitEven
-
-// NewShardedFabric splits cfg across the partitions of pm on se.
-func NewShardedFabric(se *ShardedEngine, cfg FabricConfig, pm PartitionMap) (*ShardedFabric, error) {
-	return netsim.NewSharded(se, cfg, pm)
-}
-
-// NewCommPart builds one partition's fragment of a cluster-wide
-// collective communicator: eps holds endpoints only at locally-owned
-// ranks (nil elsewhere), nodeOf maps every rank to its node.
-var NewCommPart = collective.NewPart
-
-// MergeRegistries combines per-partition metrics registries into one
-// stable-ordered registry (counters sum, ".max" gauges and the clock
-// take maxima, spans interleave by start time).
-var MergeRegistries = obs.Merged
-
-// ---- hardware ----
-
-// FabricConfig describes a network; NodeConfig a workstation.
-type (
-	FabricConfig = netsim.Config
-	Fabric       = netsim.Fabric
-	NodeID       = netsim.NodeID
-	NodeConfig   = node.Config
-	Node         = node.Node
-)
-
-// Fabric presets from the paper's era.
-var (
-	Ethernet10 = netsim.Ethernet10
-	ATM155     = netsim.ATM155
-	FDDI100    = netsim.FDDI100
-	Myrinet    = netsim.Myrinet
-)
-
-// Topology plugs a switch structure (fat-tree, torus) into a switched
-// fabric via FabricConfig.Topo; CombineTree is the switch hierarchy
-// the in-network collective plane combines over.
-type (
-	Topology    = netsim.Topology
-	CombineTree = netsim.CombineTree
-)
-
-// Topology constructors. TopoByName resolves the scenario/CLI names
-// ("crossbar", "fattree", "torus"); "crossbar" is the flat default and
-// returns a nil Topology.
-var (
-	NewFatTree    = netsim.NewFatTree
-	NewTorus      = netsim.NewTorus
-	TopoByName    = netsim.TopoByName
-	CombineTreeOf = netsim.CombineTreeOf
-)
-
-// NewFabric builds a network on e.
-func NewFabric(e *Engine, cfg FabricConfig) (*Fabric, error) { return netsim.New(e, cfg) }
-
-// DefaultNodeConfig is a mid-1994 workstation.
-var DefaultNodeConfig = node.DefaultConfig
-
-// NewNode builds a workstation on e.
-func NewNode(e *Engine, cfg NodeConfig) *Node { return node.New(e, cfg) }
-
-// ---- communication ----
-
-// AMConfig configures an Active Messages endpoint; AMEndpoint is one
-// node's attachment.
-type (
-	AMConfig   = am.Config
-	AMEndpoint = am.Endpoint
-	HandlerID  = am.HandlerID
-	AMsg       = am.Msg
-)
-
-// AM cost presets.
-var (
-	DefaultAMConfig = am.DefaultConfig
-	HPAMConfig      = am.HPAMConfig
-	CM5AMConfig     = am.CM5Config
-)
-
-// NewAMEndpoint attaches a node to the fabric with Active Messages.
-func NewAMEndpoint(e *Engine, n *Node, f *Fabric, cfg AMConfig) *AMEndpoint {
-	return am.NewEndpoint(e, n, f, cfg)
-}
-
-// ---- the global layer ----
-
-// GLUnix aliases.
-type (
-	GLUnixConfig  = glunix.Config
-	GLUnix        = glunix.Cluster
-	Job           = glunix.Job
-	RecruitPolicy = glunix.RecruitPolicy
-	Coscheduler   = glunix.Coscheduler
-)
-
-// Recruit policies.
-const (
-	MigrateOnReturn = glunix.MigrateOnReturn
-	RestartOnReturn = glunix.RestartOnReturn
-	IgnoreUser      = glunix.IgnoreUser
-)
-
-// DefaultGLUnixConfig sizes a building-scale installation.
-var DefaultGLUnixConfig = glunix.DefaultConfig
-
-// NewGLUnix builds the global layer over a fresh cluster of
-// workstations.
-func NewGLUnix(e *Engine, cfg GLUnixConfig) (*GLUnix, error) { return glunix.New(e, cfg) }
-
-// NewJob describes a gang-scheduled parallel program.
-var NewJob = glunix.NewJob
-
-// ---- memory, caching, storage ----
-
-// Network RAM aliases.
-type (
-	NetRAMRegistry = netram.Registry
-	NetRAMServer   = netram.Server
-	NetRAMPager    = netram.Pager
-)
-
-// Network RAM constructors.
-var (
-	NewNetRAMRegistry = netram.NewRegistry
-	NewNetRAMServer   = netram.NewServer
-	NewNetRAMPager    = netram.NewPager
-)
-
-// Cooperative caching aliases.
-type (
-	CoopCacheConfig = coopcache.Config
-	CoopCache       = coopcache.System
-	CachePolicy     = coopcache.Policy
-)
-
-// Cache policies.
-const (
-	ClientServer = coopcache.ClientServer
-	Greedy       = coopcache.Greedy
-	NChance      = coopcache.NChance
-)
-
-// Cooperative caching constructors.
-var (
-	DefaultCoopCacheConfig = coopcache.DefaultConfig
-	NewCoopCache           = coopcache.New
-)
-
-// Software RAID aliases.
-type (
-	RAIDLevel  = swraid.Level
-	RAIDConfig = swraid.Config
-	RAIDArray  = swraid.Array
-	RAIDStore  = swraid.Store
-)
-
-// RAID levels.
-const (
-	RAID0 = swraid.RAID0
-	RAID1 = swraid.RAID1
-	RAID5 = swraid.RAID5
-)
-
-// Software RAID constructors.
-var (
-	NewRAIDStore = swraid.NewStore
-	NewRAIDArray = swraid.NewArray
-)
-
-// xFS aliases.
-type (
-	XFSConfig = xfs.Config
-	XFS       = xfs.System
-	FileID    = xfs.FileID
-)
-
-// xFS constructors. PipelinedXFSConfig turns on the batched data path
-// (range tokens, read-ahead, write-behind group commit — DESIGN.md §9).
-var (
-	DefaultXFSConfig   = xfs.DefaultConfig
-	PipelinedXFSConfig = xfs.PipelinedConfig
-	NewXFS             = xfs.New
-)
-
-// ---- collective operations ----
-
-// Comm is a collective communicator over a set of AM endpoints;
-// CollectiveConfig shapes its trees.
-type (
-	Comm             = collective.Comm
-	CollectiveConfig = collective.Config
-)
-
-// Collective constructors.
-var (
-	DefaultCollectiveConfig = collective.DefaultConfig
-	NewComm                 = collective.New
-)
-
-// InNet executes barrier/broadcast/reduce inside the fabric's switches
-// (SHARP-style combining over the topology's CombineTree) instead of a
-// software tree of endpoint messages.
-type (
-	InNet       = collective.InNet
-	InNetConfig = collective.InNetConfig
-)
-
-// NewInNet builds the in-network collective plane over c's fabric.
-var NewInNet = collective.NewInNet
-
-// Barrier blocks rank until every rank of c has arrived.
-func Barrier(p *Proc, c *Comm, rank int) error { return c.Barrier(p, rank) }
-
-// AllToAll performs a personalized all-to-all exchange of
-// blockBytes-sized blocks; every rank must call it.
-func AllToAll(p *Proc, c *Comm, rank, blockBytes int) error {
-	return c.AllToAll(p, rank, blockBytes)
-}
-
-// ---- fault injection ----
-
-// Fault aliases: a FaultPlan schedules Faults, a FaultInjector applies
-// them to a FaultTarget (adapters onto live subsystems).
-type (
-	Fault              = faults.Fault
-	FaultKind          = faults.Kind
-	FaultPlan          = faults.Plan
-	FaultInjector      = faults.Injector
-	FaultTarget        = faults.Target
-	BaseFaultTarget    = faults.BaseTarget
-	ClusterFaultTarget = faults.ClusterTarget
-	XFSFaultTarget     = faults.XFSTarget
-)
-
-// Fault kinds.
-const (
-	FaultCrash     = faults.Crash
-	FaultRecover   = faults.Recover
-	FaultPartition = faults.Partition
-	FaultHeal      = faults.Heal
-	FaultLink      = faults.Link
-	FaultLinkClear = faults.LinkClear
-	FaultDiskFail  = faults.DiskFail
-	FaultRebuild   = faults.Rebuild
-	FaultMgrKill   = faults.MgrKill
-)
-
-// Fault-injection constructors. ScriptedFaultPlan builds a plan in
-// code; ParseFaultPlan reads the plan syntax of docs/FAULTS.md from a
-// reader; ParseFaultSpec resolves a CLI spec ("seed:<n>[,k=v...]" or a
-// plan-file path).
-var (
-	NewInjector         = faults.NewInjector
-	ScriptedFaultPlan   = faults.Scripted
-	ParseFaultPlan      = faults.Parse
-	ParseFaultSpec      = faults.ParseSpec
-	GenerateFaultPlan   = faults.Generate
-	NewXFSFaultTarget   = faults.NewXFSTarget
-	CombineFaultTargets = faults.Combine
-)
-
-// ---- declarative scenarios ----
-
-// Scenario aliases: a Scenario is one parsed .scn file (fleet + event
-// script + assertions — docs/SCENARIOS.md); ScenarioResult is one run's
-// checks, summaries and metrics registry; ScenarioOptions holds
-// execution-only knobs (never part of a deterministic output).
-type (
-	Scenario        = scenario.Scenario
-	ScenarioResult  = scenario.Result
-	ScenarioCheck   = scenario.Check
-	ScenarioOptions = scenario.Options
-	ScenarioProblem = scenario.Problem
-)
-
-// Scenario constructors. ParseScenario reads the DSL from a reader;
-// ParseScenarioFile also anchors fault-plan references to the file's
-// directory; ParseScenarioFileAll collects EVERY parse/validation
-// problem instead of stopping at the first (the `nowsim check` form);
-// RunScenario executes one and evaluates its assertions (assertion
-// failures are data — ScenarioResult.Ok — not errors).
-var (
-	ParseScenario        = scenario.Parse
-	ParseScenarioFile    = scenario.ParseFile
-	ParseScenarioFileAll = scenario.ParseFileAll
-	RunScenario          = scenario.Run
-)
-
-// ---- observability ----
-
-// MetricsRegistry collects counters, gauges, and spans from
-// instrumented subsystems; Metric is one exported sample.
-type (
-	MetricsRegistry = obs.Registry
-	Metric          = obs.Metric
-)
-
-// NewRegistry creates an empty metrics registry; attach it to an
-// engine with Engine.Observe and to subsystems with InstrumentAll.
-var NewRegistry = obs.NewRegistry
-
-// Instrumentable is anything that can mirror its internals into a
-// metrics registry. Every NOW subsystem satisfies it: the Engine,
-// Fabric, GLUnix, Coscheduler, NetRAMPager, CoopCache, RAIDArray, XFS,
-// and Comm all carry an Instrument method.
-type Instrumentable interface {
-	Instrument(r *MetricsRegistry)
-}
-
-// InstrumentAll attaches every subsystem to one registry — the
-// one-call way to wire a whole assembled system for metrics export.
-// Nil subsystems are skipped, so optional pieces compose freely.
-func InstrumentAll(r *MetricsRegistry, subsystems ...Instrumentable) {
-	for _, s := range subsystems {
-		if s != nil {
-			s.Instrument(r)
-		}
-	}
-}
-
-// ---- traces and mixed workloads ----
-
-// Trace aliases: recorded user activity and parallel-job logs drive
-// the mixed-workload studies.
-type (
-	ActivityTrace = trace.ActivityTrace
-	ParallelJob   = trace.ParallelJob
-)
-
-// GLUnixMixedResult reports a mixed interactive-plus-parallel run.
-type GLUnixMixedResult = glunix.MixedResult
-
-// RunGLUnixMixed overlays a parallel-job log on a cluster receiving an
-// interactive activity trace. The wire hook (when non-nil) runs on the
-// built cluster before the simulation starts — the place to attach a
-// fault injector or extra workloads.
-var RunGLUnixMixed = glunix.RunMixedWith
-
-// ---- control plane (operate the cluster) ----
-
-// Control-plane aliases: a ControlPlane is the in-process operator API
-// over a live cluster (census, cordon/uncordon, drain, live fault
-// injection, metric/span streaming); a Remediator closes the
-// self-healing loop; a ControlPlaneServer maps virtual time onto the
-// wall clock and serves the HTTP/JSON operator API; a
-// ControlPlaneClient is its typed client (what nowctl speaks). See
-// docs/CONTROLPLANE.md.
-type (
-	ControlPlane             = controlplane.ControlPlane
-	ControlPlaneConfig       = controlplane.Config
-	ControlPlaneServer       = controlplane.Server
-	ControlPlaneServerConfig = controlplane.ServerConfig
-	ControlPlaneClient       = controlplane.Client
-	ControlPlaneStack        = controlplane.Stack
-	ControlPlaneStackConfig  = controlplane.StackConfig
-	Remediator               = controlplane.Remediator
-	RemediationPolicy        = controlplane.RemediationPolicy
-	WorkstationStatus        = controlplane.NodeStatus
-	StoreStatus              = controlplane.StoreStatus
-	NOWClusterStatus         = controlplane.ClusterStatus
-)
-
-// Control-plane constructors.
-var (
-	NewControlPlane          = controlplane.New
-	NewControlPlaneServer    = controlplane.NewServer
-	NewControlPlaneStack     = controlplane.NewStack
-	NewRemediator            = controlplane.NewRemediator
-	DefaultRemediationPolicy = controlplane.DefaultRemediationPolicy
-)
-
-// ---- network RAM multigrid workload ----
-
-// Multigrid aliases: the paper's out-of-core scientific workload
-// paging to remote memory.
-type (
-	MultigridConfig = netram.MultigridConfig
-	MultigridResult = netram.MultigridResult
-)
-
-// Multigrid constructors.
-var (
-	DefaultMultigridConfig = netram.DefaultMultigridConfig
-	RunMultigrid           = netram.RunMultigrid
-)
-
-// ---- GATOR (global-atmosphere model) ----
-
-// GATOR aliases: the paper's end-to-end application study.
-type (
-	GatorMiniConfig = gator.MiniConfig
-	GatorMiniResult = gator.MiniResult
-	GatorPhaseTimes = gator.PhaseTimes
-)
-
-// GATOR constructors and the paper's Table 4 reference times.
-var (
-	DefaultGatorMiniConfig = gator.DefaultMiniConfig
-	RunGatorMini           = gator.RunMini
-	GatorTable4            = gator.Table4
-)

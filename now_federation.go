@@ -1,0 +1,58 @@
+// The wide-area layer: NOW of NOWs. A Federation composes several
+// cluster stacks — each its own GLUnix census, xFS, and fabric — over a
+// WAN fabric with millisecond latencies and thin, possibly asymmetric
+// pipes, on one deterministic sharded engine (one partition per
+// cluster). On top ride the hierarchical file tier (home-cluster
+// managers authoritative, lease-based cross-cluster caching with
+// recall-before-conflicting-write) and GLUnix job spill-over with
+// migration-cost-aware placement. See docs/FEDERATION.md and
+// DESIGN.md §14.
+package now
+
+import (
+	"github.com/nowproject/now/internal/federation"
+	"github.com/nowproject/now/internal/netsim"
+)
+
+// Federation aliases. A FederationConfig lists the member clusters and
+// the WAN between them; FederationCluster sizes one member (its GLUnix
+// workstations and/or xFS storage nodes); WANConfig and WANLink shape
+// the wide-area pipes (directed per-pair overrides included);
+// FederatedXFSConfig tunes the cross-cluster file tier; SpillConfig
+// and SpillPolicy govern job spill-over; FedJobSpec describes a job
+// submitted through the federation's placement path.
+type (
+	Federation         = federation.Federation
+	FederationConfig   = federation.Config
+	FederationCluster  = federation.ClusterConfig
+	FederationMember   = federation.Cluster
+	WANConfig          = federation.WANConfig
+	WANLink            = federation.Link
+	FederatedXFSConfig = federation.FSConfig
+	FederatedFS        = federation.FedFS
+	SpillPolicy        = federation.SpillPolicy
+	SpillConfig        = federation.SpillConfig
+	FedJobSpec         = federation.JobSpec
+)
+
+// Spill-over placement policies.
+const (
+	SpillOff       = federation.SpillOff
+	SpillWhenIdle  = federation.SpillWhenIdle
+	SpillCostAware = federation.SpillCostAware
+)
+
+// DefaultWANConfig is a mid-90s campus backbone: 5 ms one-way, 45 Mb/s
+// (a T3), lossless.
+var DefaultWANConfig = federation.DefaultWANConfig
+
+// NewFederation builds the member clusters on one sharded engine and
+// wires the WAN, the federated file tier, and the spill-over layer.
+func NewFederation(cfg FederationConfig) (*Federation, error) { return federation.New(cfg) }
+
+// ErrUnsupportedSharding is the sentinel wrapped by configurations the
+// deterministic sharded substrate cannot honor — shared-medium fabrics
+// or switch topologies under NewShardedFabric, and zero-latency WAN
+// links under NewFederation (the conservative window needs a positive
+// minimum link latency). Branch with errors.Is.
+var ErrUnsupportedSharding = netsim.ErrUnsupportedSharding

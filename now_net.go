@@ -1,0 +1,113 @@
+// The network layer: fabrics and their presets, pluggable switch
+// topologies, workstation nodes, Active Messages, and the collective
+// operations (software trees and in-network combining).
+package now
+
+import (
+	"github.com/nowproject/now/internal/netsim"
+	"github.com/nowproject/now/internal/node"
+	"github.com/nowproject/now/internal/proto/am"
+	"github.com/nowproject/now/internal/proto/collective"
+)
+
+// FabricConfig describes a network; NodeConfig a workstation.
+type (
+	FabricConfig = netsim.Config
+	Fabric       = netsim.Fabric
+	NodeID       = netsim.NodeID
+	NodeConfig   = node.Config
+	Node         = node.Node
+)
+
+// Fabric presets from the paper's era.
+var (
+	Ethernet10 = netsim.Ethernet10
+	ATM155     = netsim.ATM155
+	FDDI100    = netsim.FDDI100
+	Myrinet    = netsim.Myrinet
+)
+
+// Topology plugs a switch structure (fat-tree, torus) into a switched
+// fabric via FabricConfig.Topo; CombineTree is the switch hierarchy
+// the in-network collective plane combines over.
+type (
+	Topology    = netsim.Topology
+	CombineTree = netsim.CombineTree
+)
+
+// Topology constructors. TopoByName resolves the scenario/CLI names
+// ("crossbar", "fattree", "torus"); "crossbar" is the flat default and
+// returns a nil Topology.
+var (
+	NewFatTree    = netsim.NewFatTree
+	NewTorus      = netsim.NewTorus
+	TopoByName    = netsim.TopoByName
+	CombineTreeOf = netsim.CombineTreeOf
+)
+
+// NewFabric builds a network on e.
+func NewFabric(e *Engine, cfg FabricConfig) (*Fabric, error) { return netsim.New(e, cfg) }
+
+// DefaultNodeConfig is a mid-1994 workstation.
+var DefaultNodeConfig = node.DefaultConfig
+
+// NewNode builds a workstation on e.
+func NewNode(e *Engine, cfg NodeConfig) *Node { return node.New(e, cfg) }
+
+// ---- communication ----
+
+// AMConfig configures an Active Messages endpoint; AMEndpoint is one
+// node's attachment.
+type (
+	AMConfig   = am.Config
+	AMEndpoint = am.Endpoint
+	HandlerID  = am.HandlerID
+	AMsg       = am.Msg
+)
+
+// AM cost presets.
+var (
+	DefaultAMConfig = am.DefaultConfig
+	HPAMConfig      = am.HPAMConfig
+	CM5AMConfig     = am.CM5Config
+)
+
+// NewAMEndpoint attaches a node to the fabric with Active Messages.
+func NewAMEndpoint(e *Engine, n *Node, f *Fabric, cfg AMConfig) *AMEndpoint {
+	return am.NewEndpoint(e, n, f, cfg)
+}
+
+// ---- collective operations ----
+
+// Comm is a collective communicator over a set of AM endpoints;
+// CollectiveConfig shapes its trees.
+type (
+	Comm             = collective.Comm
+	CollectiveConfig = collective.Config
+)
+
+// Collective constructors.
+var (
+	DefaultCollectiveConfig = collective.DefaultConfig
+	NewComm                 = collective.New
+)
+
+// InNet executes barrier/broadcast/reduce inside the fabric's switches
+// (SHARP-style combining over the topology's CombineTree) instead of a
+// software tree of endpoint messages.
+type (
+	InNet       = collective.InNet
+	InNetConfig = collective.InNetConfig
+)
+
+// NewInNet builds the in-network collective plane over c's fabric.
+var NewInNet = collective.NewInNet
+
+// Barrier blocks rank until every rank of c has arrived.
+func Barrier(p *Proc, c *Comm, rank int) error { return c.Barrier(p, rank) }
+
+// AllToAll performs a personalized all-to-all exchange of
+// blockBytes-sized blocks; every rank must call it.
+func AllToAll(p *Proc, c *Comm, rank, blockBytes int) error {
+	return c.AllToAll(p, rank, blockBytes)
+}

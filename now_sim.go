@@ -1,0 +1,88 @@
+// The simulation substrate: deterministic engines, virtual time, the
+// sharded (multicore) execution layer, and registry merging.
+package now
+
+import (
+	"github.com/nowproject/now/internal/netsim"
+	"github.com/nowproject/now/internal/obs"
+	"github.com/nowproject/now/internal/proto/collective"
+	"github.com/nowproject/now/internal/sim"
+)
+
+// Engine is the deterministic discrete-event simulator every NOW system
+// runs on.
+type Engine = sim.Engine
+
+// Proc is a simulated process.
+type Proc = sim.Proc
+
+// Time is a point in virtual time; Duration a span (nanoseconds).
+type (
+	Time     = sim.Time
+	Duration = sim.Duration
+)
+
+// Virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+)
+
+// NewEngine creates a simulator seeded for reproducibility.
+func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
+
+// ErrStopped is the error Engine.Run returns after Engine.Stop — the
+// normal way a driven simulation ends.
+var ErrStopped = sim.ErrStopped
+
+// WaitGroup joins concurrently spawned simulated processes.
+type WaitGroup = sim.WaitGroup
+
+// NewWaitGroup creates a WaitGroup on e; name labels it in traces.
+func NewWaitGroup(e *Engine, name string) *WaitGroup { return sim.NewWaitGroup(e, name) }
+
+// ---- sharded (multicore) execution ----
+
+// ShardedConfig shapes a sharded engine: Parts logical partitions
+// (workload identity — part of what a seed means), Workers goroutines
+// executing them (never observable in results), the master Seed, and
+// the conservative-lookahead Window (at least the minimum cross-
+// partition link latency).
+type (
+	ShardedConfig = sim.ShardedConfig
+	ShardedEngine = sim.ShardedEngine
+	ShardMsg      = sim.ShardMsg
+)
+
+// NewShardedEngine builds Parts deterministic engines coordinated under
+// the windowed conservative protocol of DESIGN.md §10.
+func NewShardedEngine(cfg ShardedConfig) *ShardedEngine { return sim.NewShardedEngine(cfg) }
+
+// Partitioned-fabric aliases: a PartitionMap assigns nodes to
+// partitions; a ShardedFabric is one fabric split into per-partition
+// instances with deterministic cross-partition packet handoff.
+type (
+	PartitionMap  = netsim.PartitionMap
+	ShardedFabric = netsim.ShardedFabric
+)
+
+// SplitEven maps nodes onto parts partitions in contiguous equal runs.
+var SplitEven = netsim.SplitEven
+
+// NewShardedFabric splits cfg across the partitions of pm on se.
+func NewShardedFabric(se *ShardedEngine, cfg FabricConfig, pm PartitionMap) (*ShardedFabric, error) {
+	return netsim.NewSharded(se, cfg, pm)
+}
+
+// NewCommPart builds one partition's fragment of a cluster-wide
+// collective communicator: eps holds endpoints only at locally-owned
+// ranks (nil elsewhere), nodeOf maps every rank to its node.
+var NewCommPart = collective.NewPart
+
+// MergeRegistries combines per-partition metrics registries into one
+// stable-ordered registry (counters sum, ".max" gauges and the clock
+// take maxima, spans interleave by start time).
+var MergeRegistries = obs.Merged

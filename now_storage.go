@@ -1,0 +1,81 @@
+// The storage stack: paging to idle remote memory, cooperative file
+// caching, software RAID across workstation disks, and the serverless
+// network file system.
+package now
+
+import (
+	"github.com/nowproject/now/internal/coopcache"
+	"github.com/nowproject/now/internal/netram"
+	"github.com/nowproject/now/internal/swraid"
+	"github.com/nowproject/now/internal/xfs"
+)
+
+// Network RAM aliases.
+type (
+	NetRAMRegistry = netram.Registry
+	NetRAMServer   = netram.Server
+	NetRAMPager    = netram.Pager
+)
+
+// Network RAM constructors.
+var (
+	NewNetRAMRegistry = netram.NewRegistry
+	NewNetRAMServer   = netram.NewServer
+	NewNetRAMPager    = netram.NewPager
+)
+
+// Cooperative caching aliases.
+type (
+	CoopCacheConfig = coopcache.Config
+	CoopCache       = coopcache.System
+	CachePolicy     = coopcache.Policy
+)
+
+// Cache policies.
+const (
+	ClientServer = coopcache.ClientServer
+	Greedy       = coopcache.Greedy
+	NChance      = coopcache.NChance
+)
+
+// Cooperative caching constructors.
+var (
+	DefaultCoopCacheConfig = coopcache.DefaultConfig
+	NewCoopCache           = coopcache.New
+)
+
+// Software RAID aliases.
+type (
+	RAIDLevel  = swraid.Level
+	RAIDConfig = swraid.Config
+	RAIDArray  = swraid.Array
+	RAIDStore  = swraid.Store
+)
+
+// RAID levels.
+const (
+	RAID0 = swraid.RAID0
+	RAID1 = swraid.RAID1
+	RAID5 = swraid.RAID5
+)
+
+// Software RAID constructors.
+var (
+	NewRAIDStore = swraid.NewStore
+	NewRAIDArray = swraid.NewArray
+)
+
+// xFS aliases.
+type (
+	XFSConfig = xfs.Config
+	XFS       = xfs.System
+	FileID    = xfs.FileID
+)
+
+// xFS constructors. PipelinedXFSConfig turns on the batched data path
+// (range tokens, read-ahead, write-behind group commit — DESIGN.md §9).
+var (
+	DefaultXFSConfig   = xfs.DefaultConfig
+	PipelinedXFSConfig = xfs.PipelinedConfig
+	NewXFS             = xfs.New
+)

@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 pattern='"github.com/nowproject/now/internal/'
-allow='/internal/(experiments|trace|obs|stats|controlplane|sim)"'
+allow='/internal/(experiments|trace|obs|stats|controlplane|sim|federation)"'
 fail=0
 
 if bad=$(grep -rn --include='*.go' "$pattern" examples); then

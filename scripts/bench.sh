@@ -43,6 +43,12 @@ go test -run '^$' -bench 'BenchmarkFabricDelivery$|BenchmarkTorusRoute$' -benchm
 go test -run '^$' -bench 'BenchmarkBarrier1024$|BenchmarkFatTreeBarrier1024$|BenchmarkAllToAll128$' -benchtime 2x \
     ./internal/proto/collective/ | tee -a "$raw"
 
+# Wide-area federation: a full lease grant/recall/write-back round trip
+# over the WAN, and the spill placer's decision cost against a gossiped
+# peer census (virtual-time figures; see docs/FEDERATION.md).
+go test -run '^$' -bench 'BenchmarkWANLeaseRecall$|BenchmarkSpillPlacement$' -benchtime "$benchtime" \
+    ./internal/federation/ | tee -a "$raw"
+
 if [ "${FULL:-0}" = "1" ]; then
     # One iteration of each experiment bench: regenerates every table
     # and figure once and reports the headline paper metrics.

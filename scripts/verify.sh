@@ -58,5 +58,11 @@ for scn in examples/scenarios/*.scn; do
     || { echo "scenario report drifted from $golden" >&2; exit 1; }
 done
 go test -count=1 -run 'TestScenarioRunGoldenDeterminism|TestScenarioShardedWorkerInvariance|TestOperatorScenarioShardsInvariance' ./cmd/nowsim/ >/dev/null
-go test -count=1 -run 'TestParsePrintIdentity|TestRunDeterminism' ./internal/scenario/ >/dev/null
+go test -count=1 -run 'TestParsePrintIdentity|TestRunDeterminism|TestFederatedValidation|TestRunFederated' ./internal/scenario/ >/dev/null
+echo "== go test -race ./internal/federation/... (WAN gateways + lease recalls + spill under churn)"
+go test -race -count=1 ./internal/federation/...
+echo "== wide-area golden determinism (WA1 byte-identical, crossover pinned to the closed form)"
+go test -count=1 -run 'TestWideAreaGoldenDeterminism' ./cmd/nowbench/ >/dev/null
+go test -count=1 -run 'TestWideAreaCrossover|TestWideAreaDeterminism' ./internal/experiments/ >/dev/null
+go test -count=1 -run 'TestFederatedDeterminismAcrossWorkers' ./internal/federation/ >/dev/null
 echo "verify: all checks passed"
